@@ -1,0 +1,129 @@
+// Command ecbench regenerates every table and figure of the paper's
+// evaluation section and prints them in the paper's format.
+//
+// Usage:
+//
+//	ecbench [-scale N] [-only fig2a,fig2b,fig2c,fig2d,fig3,table3,wa]
+//
+// Scale divides the 10,000-object workload; the normalized shapes are
+// stable across scales, so -scale 20 gives a fast faithful run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "divide the paper workload by this factor")
+	only := flag.String("only", "", "comma-separated subset: fig2a,fig2b,fig2c,fig2d,fig3,table3,wa,plugins")
+	bars := flag.Bool("bars", false, "render figures as ASCII bar charts")
+	compare := flag.Bool("compare", false, "append paper-vs-measured deltas to each figure")
+	jsonOut := flag.Bool("json", false, "emit all results as JSON instead of text")
+	flag.Parse()
+
+	var collected = map[string]any{}
+	emitFigure := func(fig *experiments.Figure) {
+		if *jsonOut {
+			collected[fig.ID] = fig
+			return
+		}
+		if *bars {
+			fmt.Println(report.FigureBars(fig))
+		} else {
+			fmt.Println(report.Figure(fig))
+		}
+		if *compare {
+			if cmp := report.Comparison(fig); cmp != "" {
+				fmt.Println(cmp)
+			}
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if run("fig2a") {
+		fig, err := experiments.Fig2aBackendCache(*scale)
+		exitOn(err)
+		emitFigure(fig)
+	}
+	if run("fig2b") {
+		fig, err := experiments.Fig2bPlacementGroups(*scale)
+		exitOn(err)
+		emitFigure(fig)
+	}
+	if run("fig2c") {
+		fig, err := experiments.Fig2cStripeUnit(*scale)
+		exitOn(err)
+		emitFigure(fig)
+	}
+	if run("fig2d") {
+		fig, err := experiments.Fig2dFailureMode(*scale)
+		exitOn(err)
+		emitFigure(fig)
+	}
+	if run("fig3") {
+		tl, err := experiments.Fig3Timeline(*scale)
+		exitOn(err)
+		if *jsonOut {
+			tl.Events = nil // keep the JSON compact
+			collected["fig3"] = tl
+		} else {
+			fmt.Println(report.Timeline(tl))
+			fmt.Println(report.TimelineEvents(tl.Events, tl.Events[0].Time))
+		}
+	}
+	if run("table3") {
+		rows, err := experiments.Table3WriteAmplification(*scale)
+		exitOn(err)
+		if *jsonOut {
+			collected["table3"] = rows
+		} else {
+			fmt.Println(report.Table3(rows))
+		}
+	}
+	if run("wa") {
+		rows, err := experiments.WAFormulaValidation(*scale)
+		exitOn(err)
+		if *jsonOut {
+			collected["wa_validation"] = rows
+		} else {
+			fmt.Println(report.WAValidation(rows))
+		}
+	}
+	if run("plugins") {
+		rows, err := experiments.PluginComparison(*scale)
+		exitOn(err)
+		if *jsonOut {
+			collected["plugins"] = rows
+		} else {
+			fmt.Println(report.Plugins(rows))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		exitOn(enc.Encode(collected))
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.SetFlags(0)
+		log.Print(err)
+		os.Exit(1)
+	}
+}

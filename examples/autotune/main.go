@@ -1,0 +1,77 @@
+// Autotune: the paper's proposed follow-up (§6) — use the framework's
+// quantitative configuration-sensitivity measurements to tune an
+// EC-based DSS automatically. Searches plugin x pg_num x stripe_unit x
+// cache scheme and ranks configurations by recovery time, storage
+// overhead, or both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/tuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	objective := flag.String("objective", "balanced", "min-recovery-time | min-write-amplification | balanced")
+	greedy := flag.Bool("greedy", false, "coordinate descent instead of full grid")
+	scale := flag.Int("scale", 50, "workload scale divisor")
+	flag.Parse()
+
+	var obj tuner.Objective
+	switch *objective {
+	case "min-recovery-time":
+		obj = tuner.MinRecoveryTime
+	case "min-write-amplification":
+		obj = tuner.MinWriteAmplification
+	case "balanced":
+		obj = tuner.Balanced
+	default:
+		log.Fatalf("unknown objective %q", *objective)
+	}
+
+	base := core.DefaultProfile().ScaleWorkload(*scale)
+	base.Cluster.Hosts = 20
+	space := tuner.Space{
+		Plugins: []tuner.PluginChoice{
+			{Plugin: "jerasure_reed_sol_van", K: 9, M: 3},
+			{Plugin: "clay", K: 9, M: 3, D: 11},
+			{Plugin: "lrc", K: 9, M: 3, D: 3},
+		},
+		PGNums:       []int{16, 64, 256},
+		StripeUnits:  []int64{64 << 10, 4 << 20},
+		CacheSchemes: []string{core.SchemeAutotune, core.SchemeDataOptimized},
+	}
+
+	if *greedy {
+		best, runs, err := tuner.GreedySearch(base, space, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("greedy search (%s): %d evaluations\n", obj, runs)
+		fmt.Printf("best: %s\n", best.Describe())
+		fmt.Printf("  recovery %.1fs, WA %.3f\n", best.RecoveryTime.Seconds(), best.WA)
+		return
+	}
+
+	ranked, err := tuner.GridSearch(base, space, obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid search (%s): %d candidates\n", obj, len(ranked))
+	fmt.Println("rank  score   recovery      WA  configuration")
+	for i, c := range ranked {
+		if c.Err != nil {
+			fmt.Printf("%4d      —          —       —  %s (failed: %v)\n", i+1, c.Describe(), c.Err)
+			continue
+		}
+		fmt.Printf("%4d  %5.2f  %7.1fs  %6.3f  %s\n", i+1, c.Score, c.RecoveryTime.Seconds(), c.WA, c.Describe())
+		if i >= 9 {
+			fmt.Printf("      ... %d more\n", len(ranked)-10)
+			break
+		}
+	}
+}

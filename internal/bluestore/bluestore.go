@@ -1,0 +1,484 @@
+// Package bluestore models the Ceph BlueStore object store closely enough
+// to reproduce the paper's two backend-sensitive results: the effect of the
+// KV/metadata/data cache ratios on recovery time (Fig. 2a) and OSD-level
+// write amplification (Table 3, §4.4).
+//
+// Each OSD owns one Store sitting on a virtual block device plus an
+// embedded key-value store (the RocksDB stand-in). Chunk writes allocate
+// min_alloc-rounded space, record onode/extent/checksum metadata in the KV
+// store, and account the EC-related metadata whose aggregate size the
+// paper observes but does not decompose (see Config.ECMetaFraction).
+package bluestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/kvstore"
+)
+
+// ErrNoSuchChunk is returned when reading or deleting an unknown chunk.
+var ErrNoSuchChunk = errors.New("bluestore: no such chunk")
+
+// CacheConfig is the BlueStore cache split of Table 2. Ratios should sum
+// to 1; they are normalized defensively.
+type CacheConfig struct {
+	KVRatio   float64
+	MetaRatio float64
+	DataRatio float64
+	Autotune  bool
+}
+
+// Named cache schemes from Table 2 of the paper.
+var (
+	CacheKVOptimized   = CacheConfig{KVRatio: 0.70, MetaRatio: 0.20, DataRatio: 0.10}
+	CacheDataOptimized = CacheConfig{KVRatio: 0.20, MetaRatio: 0.20, DataRatio: 0.60}
+	CacheAutotune      = CacheConfig{KVRatio: 0.45, MetaRatio: 0.45, DataRatio: 0.10, Autotune: true}
+)
+
+// Config parameterizes the store. Zero values take defaults.
+type Config struct {
+	// MinAllocSize is the allocation granularity (bluestore_min_alloc_size).
+	MinAllocSize int64
+	// BlobSize caps a single blob; one extent-map entry is recorded per
+	// blob of a chunk write.
+	BlobSize int64
+	// CsumChunkSize is the checksum granularity; CsumEntryBytes are stored
+	// per checksum chunk.
+	CsumChunkSize  int64
+	CsumEntryBytes int64
+	// OnodeBytes is the serialized onode record size per chunk object.
+	OnodeBytes int64
+	// ExtentEntryBytes is the extent-map entry size per blob.
+	ExtentEntryBytes int64
+	// ECMetaFraction models the EC-related metadata the paper's S_meta
+	// term aggregates (hash_info attributes, PG-log dup entries, LSM
+	// overhead attributable to the object). It is charged as a fraction
+	// of the chunk's logical share of the object and calibrated once
+	// against Table 3 (see EXPERIMENTS.md).
+	ECMetaFraction float64
+	// KVSpaceAmp is the RocksDB space-amplification factor.
+	KVSpaceAmp float64
+	// CacheBytes is the total cache available to the three pools.
+	CacheBytes int64
+	Cache      CacheConfig
+}
+
+// DefaultConfig mirrors a Quincy-era SSD OSD.
+func DefaultConfig() Config {
+	return Config{
+		MinAllocSize:     4096,
+		BlobSize:         512 << 10,
+		CsumChunkSize:    4096,
+		CsumEntryBytes:   4,
+		OnodeBytes:       520,
+		ExtentEntryBytes: 48,
+		ECMetaFraction:   0.26,
+		KVSpaceAmp:       1.35,
+		CacheBytes:       3 << 30,
+		Cache:            CacheAutotune,
+	}
+}
+
+type chunkInfo struct {
+	size      int64
+	allocated int64
+	share     int64 // logical object share used for EC metadata accounting
+	hasData   bool
+	checksum  uint32 // crc32 of the payload at write time (payload mode)
+	corrupted bool   // accounting-mode corruption marker
+}
+
+// Store is one OSD's object store.
+type Store struct {
+	mu  sync.Mutex
+	cfg Config
+	dev *blockdev.Device
+	kv  *kvstore.DB
+
+	chunks map[string]*chunkInfo
+
+	dataAllocated int64
+	nextOffset    int64 // bump allocator for payload placement
+
+	// accountedMeta tracks extent-map and checksum record bytes, which are
+	// accounted rather than materialized to keep large synthetic workloads
+	// cheap.
+	accountedMeta int64
+	// ecMetaBytes is the accounted EC metadata (see Config.ECMetaFraction).
+	ecMetaBytes int64
+
+	dataWorkingSet int64 // set by the experiment runner; see SetDataWorkingSet
+}
+
+// Open creates a store over a device.
+func Open(dev *blockdev.Device, cfg Config) (*Store, error) {
+	def := DefaultConfig()
+	if cfg.MinAllocSize <= 0 {
+		cfg.MinAllocSize = def.MinAllocSize
+	}
+	if cfg.BlobSize <= 0 {
+		cfg.BlobSize = def.BlobSize
+	}
+	if cfg.CsumChunkSize <= 0 {
+		cfg.CsumChunkSize = def.CsumChunkSize
+	}
+	if cfg.CsumEntryBytes <= 0 {
+		cfg.CsumEntryBytes = def.CsumEntryBytes
+	}
+	if cfg.OnodeBytes <= 0 {
+		cfg.OnodeBytes = def.OnodeBytes
+	}
+	if cfg.ExtentEntryBytes <= 0 {
+		cfg.ExtentEntryBytes = def.ExtentEntryBytes
+	}
+	if cfg.KVSpaceAmp <= 0 {
+		cfg.KVSpaceAmp = def.KVSpaceAmp
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = def.CacheBytes
+	}
+	if cfg.Cache == (CacheConfig{}) {
+		cfg.Cache = def.Cache
+	}
+	if cfg.ECMetaFraction < 0 {
+		return nil, fmt.Errorf("bluestore: negative ECMetaFraction")
+	}
+	return &Store{
+		cfg:    cfg,
+		dev:    dev,
+		kv:     kvstore.Open(cfg.KVSpaceAmp),
+		chunks: map[string]*chunkInfo{},
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+func roundUp(v, to int64) int64 { return (v + to - 1) / to * to }
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// WriteChunk stores an EC chunk. size is the padded chunk size on disk;
+// objectShare is the chunk's logical share of the client object
+// (S_object / n), which drives EC metadata accounting; payload, if
+// non-nil, carries real bytes (len(payload) must equal size), otherwise
+// the write is accounting-only.
+func (s *Store) WriteChunk(name string, size, objectShare int64, payload []byte) error {
+	if size < 0 || objectShare < 0 {
+		return fmt.Errorf("bluestore: negative sizes")
+	}
+	if payload != nil && int64(len(payload)) != size {
+		return fmt.Errorf("bluestore: payload length %d != size %d", len(payload), size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.chunks[name]; ok {
+		s.dropLocked(name, old)
+	}
+	info := &chunkInfo{size: size, share: objectShare}
+	info.allocated = roundUp(size, s.cfg.MinAllocSize)
+
+	var off int64
+	if payload != nil {
+		info.checksum = crc32.ChecksumIEEE(payload)
+		off = s.nextOffset
+		if off+info.allocated > s.dev.Capacity() {
+			return fmt.Errorf("bluestore: device full (%d + %d > %d)", off, info.allocated, s.dev.Capacity())
+		}
+		if _, err := s.dev.WriteAt(payload, off); err != nil {
+			return fmt.Errorf("bluestore: %w", err)
+		}
+		s.nextOffset = off + info.allocated
+		info.hasData = true
+	} else {
+		if err := s.dev.AccountWrite(size); err != nil {
+			return fmt.Errorf("bluestore: %w", err)
+		}
+	}
+	s.dataAllocated += info.allocated
+
+	// Onode record: placement offset + sizes, padded to the modeled onode
+	// size.
+	onode := make([]byte, s.cfg.OnodeBytes)
+	binary.BigEndian.PutUint64(onode[0:8], uint64(off))
+	binary.BigEndian.PutUint64(onode[8:16], uint64(size))
+	binary.BigEndian.PutUint64(onode[16:24], uint64(objectShare))
+	if info.hasData {
+		onode[24] = 1
+	}
+	s.kv.Put("o/"+name, onode)
+
+	s.accountedMeta += s.metaRecordBytes(size)
+	s.ecMetaBytes += int64(s.cfg.ECMetaFraction * float64(objectShare))
+	s.chunks[name] = info
+	return nil
+}
+
+// metaRecordBytes is the extent-map plus checksum record size for a chunk.
+func (s *Store) metaRecordBytes(size int64) int64 {
+	extents := ceilDiv(size, s.cfg.BlobSize)
+	csums := ceilDiv(size, s.cfg.CsumChunkSize)
+	return extents*s.cfg.ExtentEntryBytes + csums*s.cfg.CsumEntryBytes
+}
+
+// ReadChunk returns the chunk size and, for payload-mode chunks, its
+// bytes. Device read counters are bumped either way.
+func (s *Store) ReadChunk(name string) (int64, []byte, error) {
+	s.mu.Lock()
+	info, ok := s.chunks[name]
+	if !ok {
+		s.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	var off int64
+	if info.hasData {
+		onode, ok := s.kv.Get("o/" + name)
+		if !ok {
+			s.mu.Unlock()
+			return 0, nil, fmt.Errorf("%w: onode for %s", ErrNoSuchChunk, name)
+		}
+		off = int64(binary.BigEndian.Uint64(onode[0:8]))
+	}
+	size, hasData := info.size, info.hasData
+	s.mu.Unlock()
+
+	if hasData {
+		buf := make([]byte, size)
+		if _, err := s.dev.ReadAt(buf, off); err != nil {
+			return 0, nil, fmt.Errorf("bluestore: %w", err)
+		}
+		return size, buf, nil
+	}
+	if err := s.dev.AccountRead(size); err != nil {
+		return 0, nil, fmt.Errorf("bluestore: %w", err)
+	}
+	return size, nil, nil
+}
+
+// ReadSubChunks accounts a partial read of the chunk (count sub-chunk
+// reads totalling bytes), used by Clay repair I/O accounting.
+func (s *Store) ReadSubChunks(name string, bytes int64) error {
+	s.mu.Lock()
+	_, ok := s.chunks[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	return s.dev.AccountRead(bytes)
+}
+
+// CorruptChunk simulates silent data corruption (bit rot) in a stored
+// chunk: payload-mode chunks get their on-device bytes flipped, and
+// accounting-mode chunks are marked corrupt. The stored checksum is left
+// intact, so only a scrub can tell.
+func (s *Store) CorruptChunk(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.chunks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	info.corrupted = true
+	if info.hasData {
+		onode, ok := s.kv.Get("o/" + name)
+		if !ok {
+			return fmt.Errorf("%w: onode for %s", ErrNoSuchChunk, name)
+		}
+		off := int64(binary.BigEndian.Uint64(onode[0:8]))
+		// Flip a byte somewhere in the middle of the chunk.
+		pos := off + info.size/2
+		buf := make([]byte, 1)
+		if _, err := s.dev.ReadAt(buf, pos); err != nil {
+			return err
+		}
+		buf[0] ^= 0xFF
+		if _, err := s.dev.WriteAt(buf, pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScrubChunk deep-scrubs a chunk: payload-mode chunks are re-read and
+// their crc32 compared against the write-time checksum; accounting-mode
+// chunks report their corruption marker. It returns true when the chunk
+// is consistent.
+func (s *Store) ScrubChunk(name string) (bool, error) {
+	s.mu.Lock()
+	info, ok := s.chunks[name]
+	s.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	if !info.hasData {
+		return !info.corrupted, nil
+	}
+	_, payload, err := s.ReadChunk(name)
+	if err != nil {
+		return false, err
+	}
+	return crc32.ChecksumIEEE(payload) == info.checksum, nil
+}
+
+// HasChunk reports whether the named chunk exists.
+func (s *Store) HasChunk(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chunks[name]
+	return ok
+}
+
+// ChunkSize returns the stored (padded) size of a chunk.
+func (s *Store) ChunkSize(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.chunks[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	return info.size, nil
+}
+
+// DeleteChunk removes a chunk and its metadata.
+func (s *Store) DeleteChunk(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.chunks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
+	}
+	s.dropLocked(name, info)
+	return nil
+}
+
+func (s *Store) dropLocked(name string, info *chunkInfo) {
+	s.dataAllocated -= info.allocated
+	s.accountedMeta -= s.metaRecordBytes(info.size)
+	s.ecMetaBytes -= int64(s.cfg.ECMetaFraction * float64(info.share))
+	s.kv.Delete("o/" + name)
+	delete(s.chunks, name)
+}
+
+// Chunks returns the number of stored chunks.
+func (s *Store) Chunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chunks)
+}
+
+// DataBytes is the allocated payload space (min_alloc rounded).
+func (s *Store) DataBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dataAllocated
+}
+
+// MetaBytes is the KV footprint plus the accounted extent/checksum
+// records (both LSM-resident, so space-amplified) plus the EC metadata
+// aggregate, which is calibrated directly against Table 3 and therefore
+// not amplified again.
+func (s *Store) MetaBytes() int64 {
+	s.mu.Lock()
+	acc := s.accountedMeta
+	ec := s.ecMetaBytes
+	s.mu.Unlock()
+	return s.kv.Footprint() + int64(s.cfg.KVSpaceAmp*float64(acc)) + ec
+}
+
+// UsedBytes is the OSD-level storage usage the paper measures for its
+// Actual WA Factor: data allocation plus metadata footprint.
+func (s *Store) UsedBytes() int64 {
+	return s.DataBytes() + s.MetaBytes()
+}
+
+// SetDataWorkingSet tells the cache model how much data is hot (e.g. the
+// bytes a recovery will read on this OSD).
+func (s *Store) SetDataWorkingSet(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dataWorkingSet = bytes
+}
+
+// AccessProfile returns the modeled cache hit fractions for onode/meta
+// lookups, KV reads, and data reads, under the configured cache scheme.
+// Autotune performs a water-filling allocation across the three pools in
+// proportion to their demand, which is what BlueStore's cache autotuner
+// converges to.
+func (s *Store) AccessProfile() (metaHit, kvHit, dataHit float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kvNeed := float64(s.kv.Footprint()) + s.cfg.KVSpaceAmp*float64(s.accountedMeta) + float64(s.ecMetaBytes)
+	metaNeed := float64(int64(len(s.chunks)) * s.cfg.OnodeBytes)
+	dataNeed := float64(s.dataWorkingSet)
+	total := float64(s.cfg.CacheBytes)
+
+	var kvCache, metaCache, dataCache float64
+	if s.cfg.Cache.Autotune {
+		kvCache, metaCache, dataCache = waterFill(total, kvNeed, metaNeed, dataNeed)
+	} else {
+		rk, rm, rd := s.cfg.Cache.KVRatio, s.cfg.Cache.MetaRatio, s.cfg.Cache.DataRatio
+		sum := rk + rm + rd
+		if sum <= 0 {
+			sum, rk, rm, rd = 1, 1.0/3, 1.0/3, 1.0/3
+		}
+		kvCache = total * rk / sum
+		metaCache = total * rm / sum
+		dataCache = total * rd / sum
+	}
+	hit := func(cache, need float64) float64 {
+		if need <= 0 {
+			return 1
+		}
+		f := cache / need
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+	return hit(metaCache, metaNeed), hit(kvCache, kvNeed), hit(dataCache, dataNeed)
+}
+
+// waterFill splits cache across pools proportionally to demand, never
+// granting a pool more than it needs, and redistributing the surplus.
+func waterFill(total float64, needs ...float64) (a, b, c float64) {
+	grant := make([]float64, len(needs))
+	remainingNeeds := append([]float64(nil), needs...)
+	remaining := total
+	for iter := 0; iter < 4; iter++ {
+		sum := 0.0
+		for _, n := range remainingNeeds {
+			sum += n
+		}
+		if sum <= 0 || remaining <= 0 {
+			break
+		}
+		for i, n := range remainingNeeds {
+			if n <= 0 {
+				continue
+			}
+			share := remaining * n / sum
+			if share > n {
+				share = n
+			}
+			grant[i] += share
+			remainingNeeds[i] -= share
+		}
+		granted := 0.0
+		for i := range grant {
+			granted += grant[i]
+		}
+		remaining = total - granted
+	}
+	return grant[0], grant[1], grant[2]
+}
+
+// KV exposes the embedded KV store (for tests and the logger).
+func (s *Store) KV() *kvstore.DB { return s.kv }
+
+// Device exposes the backing device.
+func (s *Store) Device() *blockdev.Device { return s.dev }

@@ -1,0 +1,154 @@
+package cephconf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const sample = `
+# cluster tuning for the stripe-unit study
+[global]
+osd pool default pg num = 256
+osd_pool_erasure_code_stripe_unit = 4M   ; binary units
+erasure_code_plugin = clay
+erasure_code_k = 9
+erasure_code_m = 3
+erasure_code_d = 11
+
+[osd]
+osd_max_backfills = 2
+mon_osd_down_out_interval = 300
+bluestore_cache_kv_ratio = 0.70
+bluestore_cache_meta_ratio = 0.20
+bluestore_cache_data_ratio = 0.10
+`
+
+func TestParseBasics(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cfg.Get("global", "osd_pool_default_pg_num"); !ok || v != "256" {
+		t.Fatalf("pg_num: %q %v", v, ok)
+	}
+	// Spaces and dashes normalize to underscores; keys are
+	// case-insensitive.
+	if v, ok := cfg.Get("GLOBAL", "OSD POOL DEFAULT PG NUM"); !ok || v != "256" {
+		t.Fatalf("normalized lookup: %q %v", v, ok)
+	}
+	// Section fallback: osd-specific key, then global.
+	if v, ok := cfg.Get("osd", "erasure_code_plugin"); !ok || v != "clay" {
+		t.Fatalf("fallback: %q %v", v, ok)
+	}
+	if v, ok := cfg.Get("osd", "osd_max_backfills"); !ok || v != "2" {
+		t.Fatalf("osd section: %q %v", v, ok)
+	}
+	// Inline comments stripped.
+	if v, _ := cfg.Get("global", "osd_pool_erasure_code_stripe_unit"); v != "4M" {
+		t.Fatalf("inline comment not stripped: %q", v)
+	}
+	if len(cfg.Sections()) != 2 {
+		t.Fatalf("sections: %v", cfg.Sections())
+	}
+	if len(cfg.Keys("osd")) != 5 {
+		t.Fatalf("osd keys: %v", cfg.Keys("osd"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"[unterminated\nkey = val",
+		"[]\n",
+		"just a line without equals\n",
+		"= value\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); !errors.Is(err, ErrSyntax) {
+			t.Errorf("input %q: err = %v", bad, err)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"4096": 4096,
+		"4K":   4096,
+		"4k":   4096,
+		"4M":   4 << 20,
+		"64M":  64 << 20,
+		"1G":   1 << 30,
+		" 2 M": 2 << 20,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "4X4", "M"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestApplyProfile(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.ApplyProfile(core.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pool.Plugin != "clay" || p.Pool.K != 9 || p.Pool.M != 3 || p.Pool.D != 11 {
+		t.Fatalf("pool: %+v", p.Pool)
+	}
+	if p.Pool.PGNum != 256 || p.Pool.StripeUnit != 4<<20 {
+		t.Fatalf("pg/stripe: %+v", p.Pool)
+	}
+	if p.Tuning.MaxBackfills != 2 || p.Tuning.MarkOutIntervalSeconds != 300 {
+		t.Fatalf("tuning: %+v", p.Tuning)
+	}
+	if p.Backend.CustomRatios == nil || p.Backend.CustomRatios.KVRatio != 0.70 {
+		t.Fatalf("cache ratios: %+v", p.Backend)
+	}
+}
+
+func TestApplyProfileAutotune(t *testing.T) {
+	cfg, _ := Parse(strings.NewReader("[osd]\nbluestore_cache_autotune = true\n"))
+	p, err := cfg.ApplyProfile(core.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Backend.CacheScheme != core.SchemeAutotune || p.Backend.CustomRatios != nil {
+		t.Fatalf("autotune: %+v", p.Backend)
+	}
+}
+
+func TestApplyProfileRejectsBadValues(t *testing.T) {
+	cfg, _ := Parse(strings.NewReader("[global]\nosd_pool_default_pg_num = lots\n"))
+	if _, err := cfg.ApplyProfile(core.DefaultProfile()); err == nil {
+		t.Fatal("malformed int accepted")
+	}
+	// A config that produces an invalid profile fails validation.
+	cfg, _ = Parse(strings.NewReader("[global]\nerasure_code_k = 0\n"))
+	if _, err := cfg.ApplyProfile(core.DefaultProfile()); err == nil {
+		t.Fatal("invalid resulting profile accepted")
+	}
+}
+
+func TestUnknownKeysIgnored(t *testing.T) {
+	cfg, _ := Parse(strings.NewReader("[global]\nrgw_frontends = beast port=8080\n"))
+	if _, err := cfg.ApplyProfile(core.DefaultProfile()); err != nil {
+		t.Fatalf("unknown key should be ignored: %v", err)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/ceph.conf"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,340 @@
+// Package client provides the Ceph-style access interfaces of Table 1 on
+// top of an erasure-coded pool: a RADOS object client, an RBD-like block
+// image striped over fixed-size objects, and an RGW-like object gateway
+// with multipart uploads and bucket indexes. They exercise the "Ceph
+// interface" configuration dimension of the study and give the examples a
+// realistic client-side workload shape.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Errors.
+var (
+	ErrNotFound    = errors.New("client: not found")
+	ErrOutOfRange  = errors.New("client: offset out of range")
+	ErrBadArgument = errors.New("client: bad argument")
+)
+
+// RADOS is the basic object interface over one pool.
+type RADOS struct {
+	c    *cluster.Cluster
+	pool string
+}
+
+// NewRADOS binds a client to a pool.
+func NewRADOS(c *cluster.Cluster, pool string) *RADOS {
+	return &RADOS{c: c, pool: pool}
+}
+
+// Put stores (or replaces) an object.
+func (r *RADOS) Put(name string, data []byte) error {
+	return r.c.WriteObject(r.pool, name, data)
+}
+
+// Get reads an object, decoding around failures if needed.
+func (r *RADOS) Get(name string) ([]byte, error) {
+	data, err := r.c.ReadObject(r.pool, name)
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoObject) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// Delete removes an object.
+func (r *RADOS) Delete(name string) error {
+	if err := r.c.DeleteObject(r.pool, name); err != nil {
+		if errors.Is(err, cluster.ErrNoObject) {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// Stat returns an object's size.
+func (r *RADOS) Stat(name string) (int64, error) {
+	size, err := r.c.StatObject(r.pool, name)
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoObject) {
+			return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return 0, err
+	}
+	return size, nil
+}
+
+// Image is an RBD-style block device striped over fixed-size objects.
+// Unwritten regions read as zeros; backing objects are created lazily on
+// first write, exactly like RBD's thin provisioning.
+type Image struct {
+	mu         sync.Mutex
+	rados      *RADOS
+	name       string
+	size       int64
+	objectSize int64
+}
+
+// CreateImage creates a thin-provisioned image of the given size striped
+// over objects of objectSize bytes.
+func CreateImage(r *RADOS, name string, size, objectSize int64) (*Image, error) {
+	if size <= 0 || objectSize <= 0 {
+		return nil, fmt.Errorf("%w: size=%d objectSize=%d", ErrBadArgument, size, objectSize)
+	}
+	im := &Image{rados: r, name: name, size: size, objectSize: objectSize}
+	meta, _ := json.Marshal(map[string]int64{"size": size, "object_size": objectSize})
+	if err := r.Put(im.headerName(), meta); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// OpenImage opens an existing image from its header object.
+func OpenImage(r *RADOS, name string) (*Image, error) {
+	data, err := r.Get("rbd/" + name + "/header")
+	if err != nil {
+		return nil, err
+	}
+	var meta map[string]int64
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("client: corrupt image header: %w", err)
+	}
+	return &Image{rados: r, name: name, size: meta["size"], objectSize: meta["object_size"]}, nil
+}
+
+// Name returns the image name.
+func (im *Image) Name() string { return im.name }
+
+// Size returns the image size in bytes.
+func (im *Image) Size() int64 { return im.size }
+
+func (im *Image) headerName() string { return "rbd/" + im.name + "/header" }
+
+func (im *Image) objectName(idx int64) string {
+	return fmt.Sprintf("rbd/%s/%016x", im.name, idx)
+}
+
+// WriteAt writes p at off (io.WriterAt semantics).
+func (im *Image) WriteAt(p []byte, off int64) (int, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > im.size {
+		return 0, fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(p), im.size)
+	}
+	written := 0
+	for written < len(p) {
+		idx := (off + int64(written)) / im.objectSize
+		inOff := (off + int64(written)) % im.objectSize
+		n := im.objectSize - inOff
+		if n > int64(len(p)-written) {
+			n = int64(len(p) - written)
+		}
+		// Read-modify-write the backing object.
+		obj, err := im.rados.Get(im.objectName(idx))
+		if err != nil {
+			if !errors.Is(err, ErrNotFound) {
+				return written, err
+			}
+			obj = make([]byte, im.objectSize)
+		}
+		if int64(len(obj)) < im.objectSize {
+			obj = append(obj, make([]byte, im.objectSize-int64(len(obj)))...)
+		}
+		copy(obj[inOff:inOff+n], p[written:written+int(n)])
+		if err := im.rados.Put(im.objectName(idx), obj); err != nil {
+			return written, err
+		}
+		written += int(n)
+	}
+	return written, nil
+}
+
+// ReadAt reads len(p) bytes at off (io.ReaderAt semantics).
+func (im *Image) ReadAt(p []byte, off int64) (int, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > im.size {
+		return 0, fmt.Errorf("%w: off=%d len=%d size=%d", ErrOutOfRange, off, len(p), im.size)
+	}
+	read := 0
+	for read < len(p) {
+		idx := (off + int64(read)) / im.objectSize
+		inOff := (off + int64(read)) % im.objectSize
+		n := im.objectSize - inOff
+		if n > int64(len(p)-read) {
+			n = int64(len(p) - read)
+		}
+		obj, err := im.rados.Get(im.objectName(idx))
+		switch {
+		case errors.Is(err, ErrNotFound):
+			for i := read; i < read+int(n); i++ {
+				p[i] = 0 // thin-provisioned hole
+			}
+		case err != nil:
+			return read, err
+		default:
+			if int64(len(obj)) < inOff+n {
+				obj = append(obj, make([]byte, inOff+n-int64(len(obj)))...)
+			}
+			copy(p[read:read+int(n)], obj[inOff:inOff+n])
+		}
+		read += int(n)
+	}
+	return read, nil
+}
+
+// Gateway is an RGW-style object gateway: large objects upload as
+// multipart (a manifest plus fixed-size part objects), and each bucket
+// keeps an index object for listing.
+type Gateway struct {
+	mu       sync.Mutex
+	rados    *RADOS
+	partSize int64
+}
+
+// manifest describes one gateway object.
+type manifest struct {
+	Size     int64 `json:"size"`
+	PartSize int64 `json:"part_size"`
+	Parts    int   `json:"parts"`
+}
+
+// NewGateway creates a gateway splitting uploads into partSize parts
+// (default 4 MiB, RGW's rgw_obj_stripe_size).
+func NewGateway(r *RADOS, partSize int64) *Gateway {
+	if partSize <= 0 {
+		partSize = 4 << 20
+	}
+	return &Gateway{rados: r, partSize: partSize}
+}
+
+func manifestName(bucket, key string) string { return "rgw/" + bucket + "/" + key + "/.manifest" }
+func partName(bucket, key string, i int) string {
+	return fmt.Sprintf("rgw/%s/%s/.part%06d", bucket, key, i)
+}
+func indexName(bucket string) string { return "rgw/" + bucket + "/.index" }
+
+// PutObject uploads an object, splitting it into parts.
+func (g *Gateway) PutObject(bucket, key string, data []byte) error {
+	if bucket == "" || key == "" || strings.Contains(key, "/.") {
+		return fmt.Errorf("%w: bucket=%q key=%q", ErrBadArgument, bucket, key)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	parts := 0
+	for off := int64(0); off < int64(len(data)) || (len(data) == 0 && off == 0); off += g.partSize {
+		end := off + g.partSize
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		if err := g.rados.Put(partName(bucket, key, parts), data[off:end]); err != nil {
+			return err
+		}
+		parts++
+		if len(data) == 0 {
+			break
+		}
+	}
+	m, _ := json.Marshal(manifest{Size: int64(len(data)), PartSize: g.partSize, Parts: parts})
+	if err := g.rados.Put(manifestName(bucket, key), m); err != nil {
+		return err
+	}
+	return g.updateIndex(bucket, key, true)
+}
+
+// GetObject downloads and reassembles an object.
+func (g *Gateway) GetObject(bucket, key string) ([]byte, error) {
+	raw, err := g.rados.Get(manifestName(bucket, key))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("client: corrupt manifest for %s/%s: %w", bucket, key, err)
+	}
+	out := make([]byte, 0, m.Size)
+	for i := 0; i < m.Parts; i++ {
+		part, err := g.rados.Get(partName(bucket, key, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	if int64(len(out)) != m.Size {
+		return nil, fmt.Errorf("client: %s/%s reassembled %d bytes, manifest says %d", bucket, key, len(out), m.Size)
+	}
+	return out, nil
+}
+
+// DeleteObject removes an object's parts, manifest, and index entry.
+func (g *Gateway) DeleteObject(bucket, key string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	raw, err := g.rados.Get(manifestName(bucket, key))
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return err
+	}
+	for i := 0; i < m.Parts; i++ {
+		if err := g.rados.Delete(partName(bucket, key, i)); err != nil {
+			return err
+		}
+	}
+	if err := g.rados.Delete(manifestName(bucket, key)); err != nil {
+		return err
+	}
+	return g.updateIndex(bucket, key, false)
+}
+
+// ListBucket returns the keys in a bucket, sorted.
+func (g *Gateway) ListBucket(bucket string) ([]string, error) {
+	raw, err := g.rados.Get(indexName(bucket))
+	if errors.Is(err, ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var keys []string
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		return nil, fmt.Errorf("client: corrupt bucket index %s: %w", bucket, err)
+	}
+	return keys, nil
+}
+
+func (g *Gateway) updateIndex(bucket, key string, add bool) error {
+	keys, err := g.ListBucket(bucket)
+	if err != nil {
+		return err
+	}
+	set := map[string]bool{}
+	for _, k := range keys {
+		set[k] = true
+	}
+	if add {
+		set[key] = true
+	} else {
+		delete(set, key)
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	raw, _ := json.Marshal(out)
+	return g.rados.Put(indexName(bucket), raw)
+}

@@ -1,0 +1,244 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func newRADOS(t *testing.T) (*cluster.Cluster, *RADOS) {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Hosts = 10
+	cfg.OSDsPerHost = 2
+	cfg.DeviceCapacity = 2 << 30
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreatePool(cluster.PoolConfig{
+		Name: "rbdpool", Plugin: "jerasure_reed_sol_van",
+		K: 4, M: 2, PGNum: 16, StripeUnit: 16 << 10, FailureDomain: "host",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c, NewRADOS(c, "rbdpool")
+}
+
+func TestRADOSPutGetDeleteStat(t *testing.T) {
+	_, r := newRADOS(t)
+	data := []byte("hello erasure world")
+	if err := r.Put("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("obj")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("get: %q %v", got, err)
+	}
+	size, err := r.Stat("obj")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("stat: %d %v", size, err)
+	}
+	// Overwrite replaces.
+	if err := r.Put("obj", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = r.Get("obj")
+	if string(got) != "short" {
+		t.Fatalf("overwrite: %q", got)
+	}
+	if err := r.Delete("obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	if err := r.Delete("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := r.Stat("obj"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat after delete: %v", err)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	_, r := newRADOS(t)
+	im, err := CreateImage(r, "vol0", 1<<20, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unwritten regions read as zeros.
+	buf := make([]byte, 1000)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, err := im.ReadAt(buf, 500_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("thin-provisioned hole not zero")
+		}
+	}
+	// Write spanning object boundaries.
+	data := make([]byte, 200_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	if n, err := im.WriteAt(data, 60_000); err != nil || n != len(data) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	got := make([]byte, len(data))
+	if _, err := im.ReadAt(got, 60_000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("image round trip mismatch")
+	}
+	// Partial overwrite.
+	if _, err := im.WriteAt([]byte{9, 9, 9}, 65_000); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 5)
+	if _, err := im.ReadAt(small, 64_999); err != nil {
+		t.Fatal(err)
+	}
+	if small[0] != data[64_999-60_000] {
+		t.Fatalf("byte before overwrite changed: %v", small)
+	}
+	if small[1] != 9 || small[2] != 9 || small[3] != 9 {
+		t.Fatalf("partial overwrite wrong: %v", small)
+	}
+	if small[4] != data[65_003-60_000] {
+		t.Fatalf("byte after overwrite changed: %v", small)
+	}
+}
+
+func TestImageBounds(t *testing.T) {
+	_, r := newRADOS(t)
+	im, err := CreateImage(r, "vol1", 100_000, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := im.WriteAt(make([]byte, 10), 99_995); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write past end: %v", err)
+	}
+	if _, err := im.ReadAt(make([]byte, 10), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative read: %v", err)
+	}
+	if _, err := CreateImage(r, "bad", 0, 1); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("zero size: %v", err)
+	}
+}
+
+func TestOpenImage(t *testing.T) {
+	_, r := newRADOS(t)
+	if _, err := CreateImage(r, "vol2", 500_000, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	im, err := OpenImage(r, "vol2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Size() != 500_000 || im.Name() != "vol2" {
+		t.Fatalf("reopened image: %d %s", im.Size(), im.Name())
+	}
+	if _, err := OpenImage(r, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open missing: %v", err)
+	}
+}
+
+func TestGatewayMultipart(t *testing.T) {
+	_, r := newRADOS(t)
+	g := NewGateway(r, 64<<10)
+	data := make([]byte, 300_000) // ~5 parts
+	rand.New(rand.NewSource(2)).Read(data)
+	if err := g.PutObject("photos", "cat.jpg", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.GetObject("photos", "cat.jpg")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("gateway round trip: %v", err)
+	}
+	// Empty object.
+	if err := g.PutObject("photos", "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err = g.GetObject("photos", "empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty object: %d bytes, %v", len(got), err)
+	}
+	keys, err := g.ListBucket("photos")
+	if err != nil || len(keys) != 2 || keys[0] != "cat.jpg" || keys[1] != "empty" {
+		t.Fatalf("list: %v %v", keys, err)
+	}
+	if err := g.DeleteObject("photos", "cat.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.GetObject("photos", "cat.jpg"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+	keys, _ = g.ListBucket("photos")
+	if len(keys) != 1 {
+		t.Fatalf("index not updated: %v", keys)
+	}
+	if keys2, err := g.ListBucket("nonexistent"); err != nil || keys2 != nil {
+		t.Fatalf("empty bucket: %v %v", keys2, err)
+	}
+}
+
+func TestGatewayValidation(t *testing.T) {
+	_, r := newRADOS(t)
+	g := NewGateway(r, 0) // default part size
+	if err := g.PutObject("", "key", nil); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("empty bucket: %v", err)
+	}
+	if err := g.PutObject("b", "x/.sneaky", nil); !errors.Is(err, ErrBadArgument) {
+		t.Fatalf("reserved key: %v", err)
+	}
+}
+
+// TestClientSurvivesRecovery drives RBD and RGW data through a failure
+// and recovery cycle, verifying end-to-end integrity through the client
+// interfaces.
+func TestClientSurvivesRecovery(t *testing.T) {
+	c, r := newRADOS(t)
+	im, err := CreateImage(r, "vol", 512<<10, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockData := make([]byte, 256<<10)
+	rand.New(rand.NewSource(3)).Read(blockData)
+	if _, err := im.WriteAt(blockData, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGateway(r, 64<<10)
+	objData := make([]byte, 200_000)
+	rand.New(rand.NewSource(4)).Read(objData)
+	if err := g.PutObject("bkt", "obj", objData); err != nil {
+		t.Fatal(err)
+	}
+
+	host, err := c.HostWithMostChunks("rbdpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FailHost(time.Second, host)
+	if _, err := c.RecoverPool("rbdpool"); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, len(blockData))
+	if _, err := im.ReadAt(got, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blockData) {
+		t.Fatal("image data corrupted by recovery")
+	}
+	objGot, err := g.GetObject("bkt", "obj")
+	if err != nil || !bytes.Equal(objGot, objData) {
+		t.Fatalf("gateway data corrupted by recovery: %v", err)
+	}
+}

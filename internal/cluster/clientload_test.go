@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func loadedCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := smallCluster(t, 10, 2, nil)
+	if _, err := c.CreatePool(PoolConfig{
+		Name: "ecpool", Plugin: "jerasure_reed_sol_van",
+		K: 4, M: 2, PGNum: 16, StripeUnit: 1 << 20, FailureDomain: "host",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	objs, _ := workload.Spec{Count: 96, ObjectSize: 4 << 20, NamePrefix: "o"}.Objects()
+	if err := c.BulkLoad("ecpool", objs); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientLoadValidation(t *testing.T) {
+	c := smallCluster(t, 8, 2, nil)
+	rsPool(t, c, 4)
+	if _, err := c.StartClientLoad("ecpool", 10); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := c.StartClientLoad("nope", 10); err == nil {
+		t.Fatal("missing pool accepted")
+	}
+	objs, _ := workload.Spec{Count: 4, ObjectSize: 1 << 20, NamePrefix: "o"}.Objects()
+	_ = c.BulkLoad("ecpool", objs)
+	if _, err := c.StartClientLoad("ecpool", 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestClientLoadCompletesOps(t *testing.T) {
+	c := loadedCluster(t)
+	load, err := c.StartClientLoad("ecpool", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Sim().RunUntil(10 * time.Second)
+	load.Stop()
+	c.Sim().Run()
+	if load.OpsCompleted < 150 {
+		t.Fatalf("completed %d ops in 10s at 20/s", load.OpsCompleted)
+	}
+	if load.MeanLatency() <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+// TestRecoverySlowerUnderClientLoad is the mclock story: foreground
+// traffic contends with recovery for the same devices.
+func TestRecoverySlowerUnderClientLoad(t *testing.T) {
+	run := func(ops float64) time.Duration {
+		c := loadedCluster(t)
+		host, _ := c.HostWithMostChunks("ecpool")
+		c.FailHost(time.Second, host)
+		var load *ClientLoad
+		if ops > 0 {
+			var err error
+			load, err = c.StartClientLoad("ecpool", ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.ScheduleRecovery("ecpool")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stop the load once recovery completes so the sim drains.
+		var watch func()
+		watch = func() {
+			if res.Done() {
+				if load != nil {
+					load.Stop()
+				}
+				return
+			}
+			c.Sim().After(5*time.Second, watch)
+		}
+		c.Sim().After(5*time.Second, watch)
+		c.Sim().Run()
+		if !res.Done() {
+			t.Fatal("recovery did not finish")
+		}
+		return res.ECRecoveryPeriod()
+	}
+	idle := run(0)
+	busy := run(200)
+	if busy <= idle {
+		t.Fatalf("recovery under load (%v) should be slower than idle (%v)", busy, idle)
+	}
+}

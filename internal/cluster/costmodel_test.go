@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecoveryFractionClamps(t *testing.T) {
+	cm := DefaultCostModel()
+	if f := cm.recoveryFraction(false); f != cm.RecoveryBWFraction {
+		t.Fatalf("busy fraction = %f", f)
+	}
+	boosted := cm.recoveryFraction(true)
+	if boosted <= cm.RecoveryBWFraction {
+		t.Fatal("idle boost not applied")
+	}
+	if boosted > 1 {
+		t.Fatal("fraction above 1")
+	}
+	cm.RecoveryBWFraction = 0
+	if cm.recoveryFraction(false) != 1 {
+		t.Fatal("zero fraction should disable throttling")
+	}
+	cm.RecoveryBWFraction = 0.9
+	cm.IdleBoost = 5
+	if cm.recoveryFraction(true) != 1 {
+		t.Fatal("boost must clamp at 1")
+	}
+}
+
+func TestThrottledTimeCap(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.RecoveryBWFraction = 0.1
+	cm.RecoveryOpCap = time.Second
+	cm.IdleBoost = 1
+	// Small op: pure throttled rate.
+	small := cm.throttledTime(1<<20, 100e6, false)
+	want := time.Duration(float64(1<<20) / 10e6 * float64(time.Second))
+	if small != want {
+		t.Fatalf("small op = %v, want %v", small, want)
+	}
+	// Huge op: cap + full-bandwidth transfer, well under the throttled time.
+	huge := cm.throttledTime(1<<30, 100e6, false)
+	throttled := time.Duration(float64(1<<30) / 10e6 * float64(time.Second))
+	capped := time.Second + time.Duration(float64(1<<30)/100e6*float64(time.Second))
+	if huge != capped {
+		t.Fatalf("huge op = %v, want %v", huge, capped)
+	}
+	if huge >= throttled {
+		t.Fatal("cap must beat pure throttling for large ops")
+	}
+	// Cap disabled.
+	cm.RecoveryOpCap = 0
+	if cm.throttledTime(1<<30, 100e6, false) != throttled {
+		t.Fatal("no cap should mean pure throttled time")
+	}
+}
+
+func TestDiskReadTimeComponents(t *testing.T) {
+	cm := DefaultCostModel()
+	base := cm.diskReadTime(0, 0, 0, false)
+	if base != 0 {
+		t.Fatalf("zero read costs %v", base)
+	}
+	withIOs := cm.diskReadTime(0, 10, 0, false)
+	if withIOs != 10*cm.PerIOOverhead {
+		t.Fatalf("ios cost = %v", withIOs)
+	}
+	withRuns := cm.diskReadTime(0, 0, 4, false)
+	if withRuns != 4*cm.DiskSeek {
+		t.Fatalf("runs cost = %v", withRuns)
+	}
+	// Bytes dominate for large sequential reads.
+	big := cm.diskReadTime(100<<20, 1, 1, false)
+	if big < time.Second {
+		t.Fatalf("100 MiB at throttled rate should exceed 1s, got %v", big)
+	}
+}
+
+func TestDiskWriteSlowerThanFullBW(t *testing.T) {
+	cm := DefaultCostModel()
+	throttled := cm.diskWriteTime(8<<20, false)
+	idle := cm.diskWriteTime(8<<20, true)
+	if idle >= throttled {
+		t.Fatal("idle writes should be faster")
+	}
+}
+
+func TestDecodeTime(t *testing.T) {
+	cm := DefaultCostModel()
+	pure := cm.decodeTime(1<<30, 0)
+	want := time.Duration(float64(1<<30) / cm.DecodeBW * float64(time.Second))
+	if pure != want {
+		t.Fatalf("decode = %v want %v", pure, want)
+	}
+	withSub := cm.decodeTime(0, 100_000)
+	if withSub != 100_000*cm.ClaySubChunkCPU {
+		t.Fatalf("sub-chunk cost = %v", withSub)
+	}
+}
+
+func TestReservationOrder(t *testing.T) {
+	got := reservationOrder(7, []int{3, 7, 12, 3})
+	want := []int{3, 7, 12}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanHelperIOModes(t *testing.T) {
+	c := smallCluster(t, 16, 2, nil)
+	// Clay pool with a large stripe unit: sub-chunks above the block size
+	// take the strided path.
+	pool, err := c.CreatePool(PoolConfig{
+		Name: "p", Plugin: "clay", K: 9, M: 3, D: 11,
+		PGNum: 4, StripeUnit: 4 << 20, FailureDomain: "host",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := pool.PGs[0]
+	plan, err := pool.Code.RepairPlan([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := int64(8 << 20) // 2 stripe units
+	hios := c.planHelperIO(pool, pg, plan, chunk)
+	if len(hios) != 11 {
+		t.Fatalf("helpers = %d", len(hios))
+	}
+	for _, h := range hios {
+		if !h.strided {
+			t.Fatal("4MB-unit clay sub-chunks should be strided")
+		}
+		// Network ships beta/alpha of the chunk.
+		want := chunk * 27 / 81
+		if h.netBytes != want {
+			t.Fatalf("netBytes = %d, want %d", h.netBytes, want)
+		}
+		if h.diskBytes != h.netBytes {
+			t.Fatal("strided path moves exactly the planned bytes")
+		}
+	}
+
+	// Tiny stripe unit: sub-chunks below the block size coalesce.
+	pool2, err := c.CreatePool(PoolConfig{
+		Name: "p2", Plugin: "clay", K: 9, M: 3, D: 11,
+		PGNum: 4, StripeUnit: 4096, FailureDomain: "host",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, _ := pool2.Code.RepairPlan([]int{0})
+	chunk2 := int64(1821 * 4096)
+	hios2 := c.planHelperIO(pool2, pool2.PGs[0], plan2, chunk2)
+	for _, h := range hios2 {
+		if h.strided {
+			t.Fatal("4KB-unit clay sub-chunks must coalesce")
+		}
+		if h.diskBytes != chunk2 {
+			t.Fatalf("coalesced path should read the whole chunk, got %d", h.diskBytes)
+		}
+		if h.netBytes >= chunk2 {
+			t.Fatal("network must still ship only planned bytes")
+		}
+	}
+
+	// RS reads whole chunks in one run.
+	pool3, err := c.CreatePool(PoolConfig{
+		Name: "p3", Plugin: "jerasure_reed_sol_van", K: 9, M: 3,
+		PGNum: 4, StripeUnit: 4 << 20, FailureDomain: "host",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan3, _ := pool3.Code.RepairPlan([]int{0})
+	hios3 := c.planHelperIO(pool3, pool3.PGs[0], plan3, 8<<20)
+	if len(hios3) != 9 {
+		t.Fatalf("rs helpers = %d", len(hios3))
+	}
+	for _, h := range hios3 {
+		if h.ios != 1 || h.runs != 1 || h.diskBytes != 8<<20 || h.strided {
+			t.Fatalf("rs helper io = %+v", h)
+		}
+	}
+}

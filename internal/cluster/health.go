@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/erasure"
+	"repro/internal/simclock"
+)
+
+// PG states, following Ceph's naming.
+const (
+	PGActiveClean = "active+clean"
+	PGDegraded    = "active+undersized+degraded"
+	PGIncomplete  = "incomplete"
+)
+
+// HealthStatus is the cluster-level verdict.
+const (
+	HealthOK   = "HEALTH_OK"
+	HealthWarn = "HEALTH_WARN"
+	HealthErr  = "HEALTH_ERR"
+)
+
+// Health summarizes cluster state, like `ceph health`.
+type Health struct {
+	Status        string
+	TotalPGs      int
+	CleanPGs      int
+	DegradedPGs   int
+	IncompletePGs int
+	DownOSDs      []int
+}
+
+// String renders the health summary.
+func (h Health) String() string {
+	return fmt.Sprintf("%s: %d/%d pgs clean, %d degraded, %d incomplete, %d osds down",
+		h.Status, h.CleanPGs, h.TotalPGs, h.DegradedPGs, h.IncompletePGs, len(h.DownOSDs))
+}
+
+// PGStateOf classifies one placement group given the current OSD states.
+func (c *Cluster) PGStateOf(pool *Pool, pg *PG) string {
+	var lost []int
+	for shard, id := range pg.Acting {
+		if !c.osds[id].up {
+			lost = append(lost, shard)
+		}
+	}
+	switch {
+	case len(lost) == 0:
+		return PGActiveClean
+	case erasure.CanRecover(pool.Code, lost):
+		return PGDegraded
+	default:
+		return PGIncomplete
+	}
+}
+
+// Health computes the cluster-wide health across all pools.
+func (c *Cluster) Health() Health {
+	h := Health{Status: HealthOK}
+	for _, osd := range c.osds {
+		if !osd.up {
+			h.DownOSDs = append(h.DownOSDs, osd.ID)
+		}
+	}
+	sort.Ints(h.DownOSDs)
+	names := make([]string, 0, len(c.pools))
+	for name := range c.pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pool := c.pools[name]
+		for _, pg := range pool.PGs {
+			h.TotalPGs++
+			switch c.PGStateOf(pool, pg) {
+			case PGActiveClean:
+				h.CleanPGs++
+			case PGDegraded:
+				h.DegradedPGs++
+			default:
+				h.IncompletePGs++
+			}
+		}
+	}
+	switch {
+	case h.IncompletePGs > 0:
+		h.Status = HealthErr
+	case h.DegradedPGs > 0 || len(h.DownOSDs) > 0:
+		h.Status = HealthWarn
+	}
+	return h
+}
+
+// ReadLatency measures the simulated client latency of reading one object
+// in the cluster's current state: a healthy read fetches the k data
+// chunks; a degraded read fetches k surviving chunks and decodes. Client
+// I/O runs at full device bandwidth (it is not recovery-throttled). The
+// simulation is driven to completion.
+func (c *Cluster) ReadLatency(poolName, objectName string) (simclock.Time, error) {
+	pool, err := c.Pool(poolName)
+	if err != nil {
+		return 0, err
+	}
+	pg, rec, _ := pool.findObject(objectName)
+	if rec == nil {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNoObject, poolName, objectName)
+	}
+	code := pool.Code
+	var lost []int
+	for shard, id := range pg.Acting {
+		if !c.osds[id].up {
+			lost = append(lost, shard)
+		}
+	}
+	if len(lost) > 0 && !erasure.CanRecover(code, lost) {
+		return 0, fmt.Errorf("cluster: object %s unreadable: shards %v lost", objectName, lost)
+	}
+	// Primary assembles the object: data shards read directly, lost data
+	// shards decoded from a repair plan's helpers.
+	primary := -1
+	for _, id := range pg.Acting {
+		if c.osds[id].up {
+			primary = id
+			break
+		}
+	}
+	if primary == -1 {
+		return 0, fmt.Errorf("cluster: no surviving member for %s", objectName)
+	}
+	cm := &c.cfg.Cost
+
+	// Choose the shards to read: all live data shards, plus (degraded)
+	// the repair plan's helpers.
+	reads := map[int]bool{} // shard index -> read
+	lostData := false
+	for shard := 0; shard < code.K(); shard++ {
+		if contains(lost, shard) {
+			lostData = true
+			continue
+		}
+		reads[shard] = true
+	}
+	if lostData {
+		var lostDataShards []int
+		for _, l := range lost {
+			if l < code.K() {
+				lostDataShards = append(lostDataShards, l)
+			}
+		}
+		plan, err := code.RepairPlan(lostDataShards)
+		if err != nil {
+			return 0, err
+		}
+		for _, h := range plan.Helpers {
+			reads[h.Shard] = true
+		}
+	}
+
+	var start = c.sim.Now()
+	var finish simclock.Time
+	shards := make([]int, 0, len(reads))
+	for s := range reads {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	join := simclock.NewJoin(len(shards), func() {
+		pOSD := c.osds[primary]
+		var decode simclock.Time
+		if lostData {
+			decode = cm.decodeTime(rec.ChunkSize*int64(code.K()), int64(code.SubChunks()))
+		}
+		pOSD.cpu.Submit(decode, func() {
+			c.net.Transfer(pOSD.Host, "mon0", rec.Size, func() {
+				finish = c.sim.Now()
+			})
+		})
+	})
+	for _, shard := range shards {
+		osd := c.osds[pg.Acting[shard]]
+		metaHit, kvHit, _ := osd.Store.AccessProfile()
+		miss := 1 - (metaHit+kvHit)/2
+		service := simclock.Time(float64(cm.MetaLookup)*miss) +
+			simclock.Time(float64(rec.ChunkSize)/cm.DiskReadBW*1e9)
+		osd.disk.Submit(service, func() {
+			c.net.Transfer(osd.Host, c.osds[primary].Host, rec.ChunkSize, join.Done)
+		})
+	}
+	c.sim.Run()
+	if finish == 0 {
+		return 0, fmt.Errorf("cluster: read of %s did not complete", objectName)
+	}
+	return finish - start, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,588 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/simclock"
+)
+
+// monitor is the MON/MGR node: it tracks heartbeats, marks OSDs down and
+// out, and drives the checking period that precedes EC recovery.
+type monitor struct {
+	c *Cluster
+
+	epoch       int // osdmap epoch, bumped on every state change
+	injectedAt  simclock.Time
+	detectedAt  simclock.Time
+	failedOSDs  []int
+	failedHosts map[string]bool
+}
+
+func newMonitor(c *Cluster) *monitor {
+	return &monitor{c: c, failedHosts: map[string]bool{}}
+}
+
+// InjectOSDFailures schedules the failure of the given OSDs at time at:
+// their processes stop and their devices are removed. Detection happens
+// after the heartbeat grace elapses, as in Ceph.
+func (c *Cluster) InjectOSDFailures(at simclock.Time, ids ...int) {
+	cm := &c.cfg.Cost
+	if at > c.mon.injectedAt {
+		c.mon.injectedAt = at
+	}
+	for _, id := range ids {
+		id := id
+		osd := c.osds[id]
+		c.mon.failedOSDs = append(c.mon.failedOSDs, id)
+		c.mon.failedHosts[osd.Host] = true
+		c.sim.At(at, func() {
+			osd.up = false
+			osd.Store.Device().Remove()
+			c.log(c.sim.Now(), osd.Host, fmt.Sprintf("osd.%d device removed (fault injected)", id))
+		})
+	}
+	// Detection: the next heartbeat round after the grace expires.
+	detect := at + cm.HeartbeatGrace + cm.HeartbeatInterval/2
+	if detect > c.mon.detectedAt {
+		c.mon.detectedAt = detect
+	}
+	for _, id := range ids {
+		id := id
+		c.sim.At(detect, func() {
+			c.crush.SetOut(id, true)
+			c.mon.epoch++
+			c.log(c.sim.Now(), "mon0", fmt.Sprintf("osdmap e%d: osd.%d failure detected: no heartbeat for %v, marked down", c.mon.epoch, id, cm.HeartbeatGrace))
+		})
+	}
+}
+
+// OSDMapEpoch returns the monitor's current osdmap epoch.
+func (c *Cluster) OSDMapEpoch() int { return c.mon.epoch }
+
+// FailHost fails every OSD on a host at time at (node-level fault).
+func (c *Cluster) FailHost(at simclock.Time, host string) {
+	c.InjectOSDFailures(at, c.crush.OSDsOnHost(host)...)
+}
+
+// RecoveryResult captures the timeline and volume of one recovery cycle.
+type RecoveryResult struct {
+	InjectedAt      simclock.Time
+	DetectedAt      simclock.Time
+	RecoveryStartAt simclock.Time
+	FinishedAt      simclock.Time
+
+	DegradedPGs    int
+	RepairedChunks int
+	ObjectRepairs  int
+
+	HelperDiskBytes int64 // bytes read from surviving OSD devices
+	NetworkBytes    int64 // repair bytes moved between hosts
+	WrittenBytes    int64 // reconstructed bytes written
+
+	// FullDecodeObjects counts repairs that lost >1 chunk and (for Clay)
+	// fell back to full decode.
+	FullDecodeObjects int
+}
+
+// SystemRecoveryTime is detection to completion — the paper's "system
+// recovery period".
+func (r *RecoveryResult) SystemRecoveryTime() simclock.Time {
+	return r.FinishedAt - r.DetectedAt
+}
+
+// CheckingPeriod is detection to the start of EC recovery I/O.
+func (r *RecoveryResult) CheckingPeriod() simclock.Time {
+	return r.RecoveryStartAt - r.DetectedAt
+}
+
+// ECRecoveryPeriod is the EC recovery I/O phase.
+func (r *RecoveryResult) ECRecoveryPeriod() simclock.Time {
+	return r.FinishedAt - r.RecoveryStartAt
+}
+
+// CheckingFraction is the checking period share of the whole cycle.
+func (r *RecoveryResult) CheckingFraction() float64 {
+	total := r.SystemRecoveryTime()
+	if total <= 0 {
+		return 0
+	}
+	return float64(r.CheckingPeriod()) / float64(total)
+}
+
+// RecoverPool runs the full recovery cycle of a pool after failures have
+// been injected with InjectOSDFailures, driving the simulation to
+// completion and returning the measured result.
+func (c *Cluster) RecoverPool(poolName string) (*RecoveryResult, error) {
+	res, err := c.ScheduleRecovery(poolName)
+	if err != nil {
+		return nil, err
+	}
+	c.sim.Run()
+	if res.FinishedAt == 0 {
+		return nil, fmt.Errorf("cluster: recovery did not complete")
+	}
+	return res, nil
+}
+
+// ScheduleRecovery sets up the whole recovery cycle on the simulator and
+// returns the result record, which is filled in as the simulation runs.
+// Callers that need to interleave their own periodic events (iostat
+// sampling, log flushing) schedule them against Sim() and then call
+// Sim().Run() themselves; RecoverPool wraps both steps.
+func (c *Cluster) ScheduleRecovery(poolName string) (*RecoveryResult, error) {
+	pool, err := c.Pool(poolName)
+	if err != nil {
+		return nil, err
+	}
+	cm := &c.cfg.Cost
+	mon := c.mon
+	if len(mon.failedOSDs) == 0 {
+		return nil, fmt.Errorf("cluster: no failures injected")
+	}
+	res := &RecoveryResult{InjectedAt: mon.injectedAt, DetectedAt: mon.detectedAt}
+
+	// The checking period: mark-out countdown plus per-extra-host
+	// coordination, during which the MGR exchanges heartbeats and OSDs
+	// peer and compute missing sets.
+	extraHosts := len(mon.failedHosts) - 1
+	if extraHosts < 0 {
+		extraHosts = 0
+	}
+	res.RecoveryStartAt = mon.detectedAt + cm.MarkOutInterval + simclock.Time(extraHosts)*cm.HostCoordination
+
+	// Heartbeat chatter during the checking window (Figure 3's "MGR log:
+	// receiving heartbeats").
+	for t := mon.detectedAt; t < res.RecoveryStartAt; t += 10 * cm.HeartbeatInterval {
+		t := t
+		c.sim.At(t, func() {
+			c.log(t, "mon0", "receiving heartbeats from osd peers")
+		})
+	}
+
+	down := map[int]bool{}
+	for _, id := range mon.failedOSDs {
+		down[id] = true
+	}
+
+	// Identify degraded PGs and their lost shard positions.
+	type pgWork struct {
+		pg      *PG
+		lostIdx []int
+		primary int
+		targets []int
+		plan    *erasure.Plan
+	}
+	var work []*pgWork
+	var emptyRemaps []*PG
+	for _, pg := range pool.PGs {
+		var lost []int
+		for i, id := range pg.Acting {
+			if down[id] {
+				lost = append(lost, i)
+			}
+		}
+		if len(lost) == 0 {
+			continue
+		}
+		if len(pg.Objects) == 0 {
+			// No data to move: the PG just remaps to live OSDs when the
+			// failed ones are marked out.
+			emptyRemaps = append(emptyRemaps, pg)
+			continue
+		}
+		if !erasure.CanRecover(pool.Code, lost) {
+			return nil, fmt.Errorf("cluster: pg %d lost chunks %v, beyond the code's fault tolerance", pg.ID, lost)
+		}
+		primary := -1
+		for _, id := range pg.Acting {
+			if !down[id] {
+				primary = id
+				break
+			}
+		}
+		if primary == -1 {
+			return nil, fmt.Errorf("cluster: pg %d has no surviving member", pg.ID)
+		}
+		plan, err := pool.Code.RepairPlan(lost)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, &pgWork{pg: pg, lostIdx: lost, primary: primary, plan: plan})
+	}
+	res.DegradedPGs = len(work)
+	sort.Slice(work, func(i, j int) bool { return work[i].pg.ID < work[j].pg.ID })
+
+	// Pick recovery targets: re-run CRUSH with the failed OSDs out. The
+	// out-marking is applied eagerly here (the scheduled detection events
+	// set it again, idempotently) so target selection sees the post-failure
+	// map.
+	for _, id := range mon.failedOSDs {
+		c.crush.SetOut(id, true)
+	}
+	poolSeed := nameHash(pool.Name)
+	for _, w := range work {
+		// When the failure consumed a whole failure domain there may be
+		// too few domains left for a clean re-selection; Ceph remaps such
+		// PGs degraded across the remaining domains, which the sweep
+		// below reproduces.
+		newActing, err := c.crush.Select(poolSeed^uint64(w.pg.ID)*0x9e3779b97f4a7c15, pool.Code.N(), pool.FailureDomain)
+		if err != nil {
+			newActing = nil
+		}
+		inOld := map[int]bool{}
+		for _, id := range w.pg.Acting {
+			inOld[id] = true
+		}
+		var candidates []int
+		for _, id := range newActing {
+			if !inOld[id] && !down[id] {
+				candidates = append(candidates, id)
+			}
+		}
+		for ci := 0; len(candidates) < len(w.lostIdx); ci++ {
+			// Fallback: deterministic sweep for any live OSD not in the set.
+			if ci >= len(c.osds) {
+				return nil, fmt.Errorf("cluster: no recovery target for pg %d", w.pg.ID)
+			}
+			if !inOld[ci] && !down[ci] {
+				dup := false
+				for _, id := range candidates {
+					if id == ci {
+						dup = true
+					}
+				}
+				if !dup {
+					candidates = append(candidates, ci)
+				}
+			}
+		}
+		w.targets = candidates[:len(w.lostIdx)]
+	}
+
+	// Tell every store how much data recovery will read from it, so the
+	// cache model can size the hot set (drives the Fig. 2a effect).
+	readPerOSD := map[int]int64{}
+	for _, w := range work {
+		for _, o := range w.pg.Objects {
+			for _, h := range w.plan.Helpers {
+				readPerOSD[w.pg.Acting[h.Shard]] += w.plan.BytesRead(o.ChunkSize) / int64(len(w.plan.Helpers))
+			}
+		}
+	}
+	for id, bytes := range readPerOSD {
+		c.osds[id].Store.SetDataWorkingSet(bytes)
+	}
+
+	// Peering during the checking window: each degraded PG's primary
+	// exchanges infos and scans for missing objects.
+	peerDone := simclock.NewJoin(len(work), nil)
+	for _, w := range work {
+		w := w
+		c.sim.At(mon.detectedAt, func() {
+			primary := c.osds[w.primary]
+			alive := 0
+			for _, id := range w.pg.Acting {
+				if !down[id] {
+					alive++
+				}
+			}
+			scan := simclock.Time(len(w.pg.Objects)*len(w.lostIdx)) * cm.MissingScanPerChunk
+			service := simclock.Time(alive)*cm.PeeringRoundTrip + scan
+			c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d peering: check recovery resource", w.pg.ID))
+			primary.cpu.Submit(service, func() {
+				c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d collecting missing OSDs, queueing recovery (%d objects)", w.pg.ID, len(w.pg.Objects)))
+				peerDone.Done()
+			})
+		})
+	}
+
+	// The EC recovery phase.
+	allDone := simclock.NewJoin(len(work), func() {
+		res.FinishedAt = c.sim.Now()
+		c.log(c.sim.Now(), "mon0", "recovery completed: all placement groups active+clean")
+	})
+	c.sim.At(res.RecoveryStartAt, func() {
+		mon.epoch++
+		c.log(c.sim.Now(), "mon0", fmt.Sprintf("osdmap e%d: marking %d osds out, start recovery I/O", mon.epoch, len(mon.failedOSDs)))
+		for _, pg := range emptyRemaps {
+			newActing, err := c.crush.Select(poolSeed^uint64(pg.ID)*0x9e3779b97f4a7c15, pool.Code.N(), pool.FailureDomain)
+			if err != nil {
+				continue // stays degraded; surfaced via Health
+			}
+			copy(pg.Acting, newActing)
+		}
+		for _, w := range work {
+			w := w
+			// A PG reserves its primary and every recovery target before
+			// repairing (osd_max_backfills); reservations are acquired in
+			// OSD-id order so concurrent PGs cannot deadlock.
+			resources := reservationOrder(w.primary, w.targets)
+			var acquire func(i int)
+			acquire = func(i int) {
+				if i == len(resources) {
+					c.startPGRecovery(pool, w.pg, w.lostIdx, w.primary, w.targets, w.plan, res, func() {
+						for j := len(resources) - 1; j >= 0; j-- {
+							c.osds[resources[j]].reserve.Release()
+						}
+						c.log(c.sim.Now(), c.osds[w.primary].Host, fmt.Sprintf("pg %d recovery completed", w.pg.ID))
+						allDone.Done()
+					})
+					return
+				}
+				c.osds[resources[i]].reserve.Acquire(func() { acquire(i + 1) })
+			}
+			acquire(0)
+		}
+	})
+
+	// Periodic MGR recovery reports while recovery runs.
+	var report func()
+	report = func() {
+		if res.FinishedAt != 0 {
+			return
+		}
+		c.log(c.sim.Now(), "mon0", fmt.Sprintf("report recovery I/O: %d objects repaired", res.ObjectRepairs))
+		c.sim.After(60*time.Second, report)
+	}
+	c.sim.At(res.RecoveryStartAt, func() { c.sim.After(60*time.Second, report) })
+
+	if len(work) == 0 {
+		res.RecoveryStartAt = mon.detectedAt
+		res.FinishedAt = mon.detectedAt
+	}
+	return res, nil
+}
+
+// Done reports whether the recovery cycle has completed.
+func (r *RecoveryResult) Done() bool { return r.FinishedAt != 0 }
+
+// helperIO describes one helper's read work for an object repair.
+type helperIO struct {
+	osd       int
+	diskBytes int64 // bytes the device must move (after stride coalescing)
+	netBytes  int64 // bytes shipped to the primary
+	ios       int
+	runs      int
+	strided   bool // discontiguous sub-chunk reads (no read-ahead benefit)
+}
+
+// planHelperIO converts a repair plan into per-helper disk and network
+// quantities for a chunk of the given size. The code is applied per stripe
+// unit (the encoding unit, as in Ceph), so a chunk of u units incurs the
+// plan's sub-chunk pattern u times with sub-chunks of stripe_unit/alpha
+// bytes. Sub-chunks smaller than the disk block coalesce into whole-range
+// reads (the read-ahead effect that erodes Clay's disk savings), while the
+// network still ships only the planned bytes.
+func (c *Cluster) planHelperIO(pool *Pool, pg *PG, plan *erasure.Plan, chunkSize int64) []helperIO {
+	cm := &c.cfg.Cost
+	alpha := int64(plan.SubChunkTotal)
+	unit := pool.StripeUnit
+	units := (chunkSize + unit - 1) / unit
+	if units < 1 {
+		units = 1
+	}
+	subBytes := unit / alpha
+	if subBytes < 1 {
+		subBytes = 1
+	}
+	out := make([]helperIO, 0, len(plan.Helpers))
+	for _, h := range plan.Helpers {
+		perUnitNet := int64(len(h.SubChunks)) * unit / alpha
+		var hio helperIO
+		hio.osd = pg.Acting[h.Shard]
+		hio.netBytes = units * perUnitNet
+		switch {
+		case int64(len(h.SubChunks)) == alpha:
+			// Whole chunk: one sequential read.
+			hio.diskBytes = chunkSize
+			hio.ios = 1
+			hio.runs = 1
+		case subBytes < cm.DiskBlock:
+			// Strided sub-chunks below block granularity coalesce into a
+			// whole-range read: the device moves the full chunk even
+			// though the network ships only the planned bytes.
+			hio.diskBytes = chunkSize
+			hio.ios = int((chunkSize + cm.DiskBlock - 1) / cm.DiskBlock / 64) // batched requests
+			if hio.ios < 1 {
+				hio.ios = 1
+			}
+			hio.runs = 1
+		default:
+			hio.diskBytes = hio.netBytes
+			hio.ios = int(units) * h.Runs
+			hio.runs = int(units) * h.Runs
+			hio.strided = true
+		}
+		out = append(out, hio)
+	}
+	return out
+}
+
+// startPGRecovery pumps the PG's missing objects through the repair
+// pipeline with the configured recovery concurrency.
+func (c *Cluster) startPGRecovery(pool *Pool, pg *PG, lostIdx []int, primaryID int, targets []int, plan *erasure.Plan, res *RecoveryResult, done func()) {
+	cm := &c.cfg.Cost
+	primary := c.osds[primaryID]
+	c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d start recovery I/O (%d objects, %d lost chunks each)", pg.ID, len(pg.Objects), len(lostIdx)))
+
+	next := 0
+	inFlight := 0
+	var pump func()
+	finishObject := func(obj *ObjectRecord) {
+		res.ObjectRepairs++
+		res.RepairedChunks += len(lostIdx)
+		if len(lostIdx) > 1 {
+			res.FullDecodeObjects++
+		}
+		inFlight--
+		pump()
+	}
+	repair := func(obj *ObjectRecord) {
+		hios := c.planHelperIO(pool, pg, plan, obj.ChunkSize)
+		units := (obj.ChunkSize + pool.StripeUnit - 1) / pool.StripeUnit
+		if units < 1 {
+			units = 1
+		}
+		var srcBytes int64
+		var helpers *simclock.Join
+		decodeAndWrite := func() {
+			// Sub-chunk transforms per decode: the plan's pattern repeats
+			// once per encoding unit.
+			subOps := units * int64(plan.SubChunksRead())
+			service := cm.decodeTime(srcBytes, subOps) + cm.RepairOpOverhead
+			primary.cpu.Submit(service, func() {
+				// Reconstruct real bytes when the object has payload.
+				if obj.Payload {
+					if err := c.repairPayload(pool, pg, obj, lostIdx, targets); err != nil {
+						c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d object %s payload repair failed: %v", pg.ID, obj.Name, err))
+					}
+				}
+				writes := simclock.NewJoin(len(lostIdx), func() { finishObject(obj) })
+				for li, lost := range lostIdx {
+					target := c.osds[targets[li]]
+					lost := lost
+					c.net.Transfer(primary.Host, target.Host, obj.ChunkSize, func() {
+						idle := target.disk.InFlight() == 0 && target.disk.QueueLen() == 0
+						target.disk.Submit(cm.diskWriteTime(obj.ChunkSize, idle), func() {
+							if !obj.Payload {
+								name := chunkName(pool.Name, pg.ID, obj.Name, lost)
+								share := obj.Size / int64(pool.Code.N())
+								if err := target.Store.WriteChunk(name, obj.ChunkSize, share, nil); err != nil {
+									c.log(c.sim.Now(), target.Host, fmt.Sprintf("recovery write failed: %v", err))
+								}
+							}
+							res.WrittenBytes += obj.ChunkSize
+							writes.Done()
+						})
+					})
+				}
+			})
+		}
+		helpers = simclock.NewJoin(len(hios), decodeAndWrite)
+		for _, hio := range hios {
+			hio := hio
+			helper := c.osds[hio.osd]
+			hMetaHit, hKVHit, hDataHit := helper.Store.AccessProfile()
+			missFrac := 1 - (hMetaHit+hKVHit)/2
+			effBytes := int64(float64(hio.diskBytes) * (1 - hDataHit*cm.ColdDataFraction))
+			if hio.strided && cm.StrideEfficiency > 0 && cm.StrideEfficiency < 1 {
+				// Strided reads forfeit read-ahead: the device spends
+				// sequential-equivalent time moving fewer bytes.
+				effBytes = int64(float64(effBytes) / cm.StrideEfficiency)
+			}
+			idle := helper.disk.InFlight() == 0 && helper.disk.QueueLen() == 0
+			service := simclock.Time(float64(cm.MetaLookup)*missFrac) + cm.diskReadTime(effBytes, hio.ios, hio.runs, idle)
+			helper.disk.Submit(service, func() {
+				name := chunkName(pool.Name, pg.ID, obj.Name, c.shardOf(pg, hio.osd))
+				_ = helper.Store.ReadSubChunks(name, hio.diskBytes)
+				res.HelperDiskBytes += hio.diskBytes
+				srcBytes += hio.netBytes
+				c.net.Transfer(helper.Host, primary.Host, hio.netBytes, func() {
+					res.NetworkBytes += hio.netBytes
+					helpers.Done()
+				})
+			})
+		}
+	}
+	pump = func() {
+		for inFlight < cm.RecoveryMaxActive && next < len(pg.Objects) {
+			obj := pg.Objects[next]
+			next++
+			inFlight++
+			repair(obj)
+		}
+		if inFlight == 0 && next >= len(pg.Objects) {
+			// Update the acting set: targets take over the lost slots.
+			for li, lost := range lostIdx {
+				pg.Acting[lost] = targets[li]
+			}
+			done()
+		}
+	}
+	pump()
+}
+
+// reservationOrder returns the unique OSDs a PG must reserve, sorted by
+// id (the global acquisition order that prevents deadlock).
+func reservationOrder(primary int, targets []int) []int {
+	seen := map[int]bool{primary: true}
+	out := []int{primary}
+	for _, t := range targets {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shardOf returns the acting-set position of an OSD in a PG.
+func (c *Cluster) shardOf(pg *PG, osd int) int {
+	for i, id := range pg.Acting {
+		if id == osd {
+			return i
+		}
+	}
+	return -1
+}
+
+// repairPayload reconstructs the real bytes of an object's lost chunks and
+// stores them on the target OSDs.
+func (c *Cluster) repairPayload(pool *Pool, pg *PG, obj *ObjectRecord, lostIdx []int, targets []int) error {
+	code := pool.Code
+	shards := make([][]byte, code.N())
+	lost := map[int]bool{}
+	for _, l := range lostIdx {
+		lost[l] = true
+	}
+	for shard, osdID := range pg.Acting {
+		if lost[shard] {
+			continue
+		}
+		osd := c.osds[osdID]
+		if !osd.up {
+			continue
+		}
+		_, buf, err := osd.Store.ReadChunk(chunkName(pool.Name, pg.ID, obj.Name, shard))
+		if err != nil || buf == nil {
+			continue
+		}
+		shards[shard] = buf
+	}
+	if err := code.Repair(shards, lostIdx); err != nil {
+		return err
+	}
+	share := obj.Size / int64(code.N())
+	for li, l := range lostIdx {
+		target := c.osds[targets[li]]
+		name := chunkName(pool.Name, pg.ID, obj.Name, l)
+		if err := target.Store.WriteChunk(name, obj.ChunkSize, share, shards[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

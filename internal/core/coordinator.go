@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/iostat"
+	"repro/internal/logsys"
+	"repro/internal/msgbus"
+	"repro/internal/simclock"
+	"repro/internal/wamodel"
+	"repro/internal/workload"
+)
+
+// Result is everything one experiment produces.
+type Result struct {
+	Profile Profile
+
+	// Recovery is nil for fault-free (write-amplification only) profiles.
+	Recovery *cluster.RecoveryResult
+
+	// WA is the OSD-level storage-overhead measurement of §4.4.
+	WA wamodel.Report
+
+	// Timeline is the globally merged, classified log stream (§3.3).
+	Timeline []logsys.Entry
+
+	// IOSamples are the iostat samples gathered during the run.
+	IOSamples []iostat.Sample
+
+	UsedBytes    int64
+	WrittenBytes int64
+
+	LogLinesShipped int
+	LogLinesDropped int
+
+	// PayloadVerified is set for payload-mode workloads: true when every
+	// object read back bit-identical after recovery.
+	PayloadVerified bool
+	PayloadErrors   int
+
+	// Scrub holds the deep-scrub report when the profile injected
+	// corruption faults; RepairedInconsistent counts chunks rewritten.
+	Scrub                *cluster.ScrubReport
+	RepairedInconsistent int
+}
+
+// Coordinator orchestrates all the activities in the target DSS:
+// configuration, virtual-disk provisioning, workload execution, fault
+// injection, and log collection (§3, Coordinator).
+type Coordinator struct {
+	mgr     *ECManager
+	cluster *cluster.Cluster
+	workers map[string]*Worker
+	loggers map[string]*logsys.NodeLogger
+	broker  *msgbus.Broker
+	sampler *iostat.Sampler
+
+	classifier *Classifier
+}
+
+// Classifier aliases the log classifier type for the public API.
+type Classifier = logsys.Classifier
+
+// NewCoordinator builds the full experiment environment for a profile:
+// the simulated cluster, one Worker per host with NVMe-oF-provisioned
+// devices, per-node Loggers and the message bus.
+func NewCoordinator(p Profile) (*Coordinator, error) {
+	mgr, err := NewECManager(p)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		mgr:        mgr,
+		workers:    map[string]*Worker{},
+		loggers:    map[string]*logsys.NodeLogger{},
+		broker:     msgbus.NewBroker(),
+		sampler:    iostat.NewSampler(),
+		classifier: logsys.DefaultClassifier(),
+	}
+	if err := co.broker.CreateTopic(logsys.Topic, 8); err != nil {
+		return nil, err
+	}
+	logFn := func(t simclock.Time, node, msg string) {
+		co.nodeLogger(node).Log(t, msg)
+	}
+	cfg, err := mgr.ClusterConfig(logFn)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	co.cluster = cl
+
+	// Provision every OSD's device through its host's worker.
+	for _, osd := range cl.OSDs() {
+		w, ok := co.workers[osd.Host]
+		if !ok {
+			w, err = NewWorker(osd.Host)
+			if err != nil {
+				co.Close()
+				return nil, err
+			}
+			co.workers[osd.Host] = w
+		}
+		if err := w.Provision(osd.ID, osd.Store.Device()); err != nil {
+			co.Close()
+			return nil, fmt.Errorf("core: provisioning osd.%d on %s: %w", osd.ID, osd.Host, err)
+		}
+		if err := co.sampler.Track(fmt.Sprintf("osd.%d", osd.ID), osd.Store.Device()); err != nil {
+			co.Close()
+			return nil, err
+		}
+	}
+	return co, nil
+}
+
+func (co *Coordinator) nodeLogger(node string) *logsys.NodeLogger {
+	l, ok := co.loggers[node]
+	if !ok {
+		l = logsys.NewNodeLogger(node, co.classifier, co.broker)
+		co.loggers[node] = l
+	}
+	return l
+}
+
+// Cluster exposes the cluster under test.
+func (co *Coordinator) Cluster() *cluster.Cluster { return co.cluster }
+
+// Workers returns the per-host workers.
+func (co *Coordinator) Workers() map[string]*Worker { return co.workers }
+
+// PoolConfig returns the pool configuration resolved from the profile,
+// for callers driving the cluster manually.
+func (co *Coordinator) PoolConfig() cluster.PoolConfig { return co.mgr.PoolConfig() }
+
+// Close releases worker resources.
+func (co *Coordinator) Close() {
+	for _, w := range co.workers {
+		_ = w.Close()
+	}
+}
+
+// Run executes the whole experiment cycle and returns its measurements.
+func (co *Coordinator) Run() (*Result, error) {
+	defer co.Close()
+	p := co.mgr.Profile()
+	res := &Result{Profile: p}
+	cl := co.cluster
+
+	// 1. Configure the pool.
+	if _, err := cl.CreatePool(co.mgr.PoolConfig()); err != nil {
+		return nil, err
+	}
+
+	// 2. Execute the workload.
+	spec := workload.Spec{
+		NamePrefix: "obj",
+		Count:      p.Workload.Objects,
+		ObjectSize: p.Workload.ObjectSize,
+		SizeJitter: p.Workload.SizeJitter,
+		Seed:       p.Workload.Seed,
+	}
+	objs, err := spec.Objects()
+	if err != nil {
+		return nil, err
+	}
+	contents := map[string][]byte{}
+	if p.Workload.Payload {
+		rng := newPayloadRNG(p.Workload.Seed)
+		for _, o := range objs {
+			data := rng.bytes(int(o.Size))
+			contents[o.Name] = data
+			if err := cl.WriteObject(p.Pool.Name, o.Name, data); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := cl.BulkLoad(p.Pool.Name, objs); err != nil {
+			return nil, err
+		}
+	}
+	res.WrittenBytes = 0
+	for _, o := range objs {
+		res.WrittenBytes += o.Size
+	}
+
+	// 3. Measure storage overhead (Actual WA Factor, §4.4).
+	res.UsedBytes = cl.UsedBytes()
+	measured := float64(res.UsedBytes) / float64(res.WrittenBytes)
+	res.WA, err = wamodel.NewReport(p.Workload.ObjectSize, p.Pool.K+p.Pool.M, p.Pool.K, p.Pool.StripeUnit, measured)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Inject faults and run recovery, if profiled. Corruption faults
+	// are latent: they are applied, then detected by a deep scrub and
+	// repaired in place; availability faults go through detection and
+	// EC recovery.
+	availabilityFaults := 0
+	if len(p.Faults) > 0 {
+		inj := NewFaultInjector(cl, p.Pool.Name)
+		plans, err := inj.PlanAll(p.Faults)
+		if err != nil {
+			return nil, err
+		}
+		for _, pf := range plans {
+			if pf.Spec.Level == FaultLevelDevice {
+				// Device faults go through the worker's NVMe-oF control
+				// path, exactly like nvmetcli removing a subsystem.
+				for _, id := range pf.OSDs {
+					host := cl.Crush().HostOf(id)
+					if w := co.workers[host]; w != nil {
+						if err := w.FailDevice(id); err != nil {
+							return nil, fmt.Errorf("core: failing device osd.%d: %w", id, err)
+						}
+					}
+				}
+			}
+			if pf.Spec.Level != FaultLevelCorruption {
+				availabilityFaults++
+			}
+			if err := inj.Inject(pf); err != nil {
+				return nil, err
+			}
+		}
+		if hasCorruption(p.Faults) {
+			scrub, err := cl.ScrubPool(p.Pool.Name)
+			if err != nil {
+				return nil, err
+			}
+			res.Scrub = scrub
+			res.RepairedInconsistent, err = cl.RepairInconsistent(p.Pool.Name, scrub)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if availabilityFaults > 0 {
+		rec, err := cl.ScheduleRecovery(p.Pool.Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Recovery = rec
+
+		// iostat sampling every 30 simulated seconds until recovery ends.
+		var sample func()
+		sample = func() {
+			co.sampler.Sample(cl.Sim().Now())
+			if !rec.Done() {
+				cl.Sim().After(30*time.Second, sample)
+			}
+		}
+		cl.Sim().At(rec.DetectedAt, sample)
+
+		cl.Sim().Run()
+		if !rec.Done() {
+			return nil, fmt.Errorf("core: recovery did not complete")
+		}
+
+		if p.Workload.Payload {
+			res.PayloadVerified = true
+			for name, want := range contents {
+				got, err := cl.ReadObject(p.Pool.Name, name)
+				if err != nil || string(got) != string(want) {
+					res.PayloadVerified = false
+					res.PayloadErrors++
+				}
+			}
+		}
+	}
+
+	// 5. Collect and merge logs.
+	for _, l := range co.loggers {
+		if err := l.Flush(); err != nil {
+			return nil, err
+		}
+		res.LogLinesShipped += l.ShippedLines
+		res.LogLinesDropped += l.DroppedLines
+	}
+	collector := logsys.NewCollector(co.broker, "coordinator")
+	if _, err := collector.Collect(); err != nil {
+		return nil, err
+	}
+	res.Timeline = collector.Entries()
+	res.IOSamples = co.sampler.Samples()
+	return res, nil
+}
+
+// hasCorruption reports whether any fault spec is corruption-level.
+func hasCorruption(faults []FaultSpec) bool {
+	for _, f := range faults {
+		if f.Level == FaultLevelCorruption {
+			return true
+		}
+	}
+	return false
+}
+
+// Run is the one-call entry point: build the environment for a profile,
+// execute it, and return the result.
+func Run(p Profile) (*Result, error) {
+	co, err := NewCoordinator(p)
+	if err != nil {
+		return nil, err
+	}
+	return co.Run()
+}
+
+// payloadRNG generates deterministic payload bytes without pulling
+// math/rand into the hot path for every object.
+type payloadRNG struct{ state uint64 }
+
+func newPayloadRNG(seed int64) *payloadRNG {
+	return &payloadRNG{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (r *payloadRNG) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+func (r *payloadRNG) bytes(n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := r.next()
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package core implements ECFault, the framework of "Revisiting Erasure
+// Codes: A Configuration Perspective" (HotStorage '24): a Controller
+// (EC Manager, Fault Injector, Coordinator), per-node Workers that
+// provision virtual NVMe-oF disks and apply faults, and Loggers that ship
+// classified log entries to the Coordinator for global analysis.
+//
+// An experiment is described by a Profile; the Coordinator builds the
+// target DSS, provisions storage, runs the workload, injects the profiled
+// faults, measures the recovery cycle, and returns a Result holding the
+// recovery timeline, storage-overhead measurements and merged logs.
+package core

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCorruptionExperimentEndToEnd(t *testing.T) {
+	p := fastProfile()
+	p.Workload.Objects = 20
+	p.Workload.ObjectSize = 256 << 10
+	p.Pool.StripeUnit = 64 << 10
+	p.Workload.Payload = true
+	p.Faults = []FaultSpec{{Level: FaultLevelCorruption, Count: 5, AtSeconds: 1}}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery != nil {
+		t.Fatal("corruption-only profile should not run availability recovery")
+	}
+	if res.Scrub == nil {
+		t.Fatal("no scrub report")
+	}
+	if len(res.Scrub.Inconsistent) != 5 {
+		t.Fatalf("scrub found %d inconsistencies, want 5", len(res.Scrub.Inconsistent))
+	}
+	if res.RepairedInconsistent != 5 {
+		t.Fatalf("repaired %d, want 5", res.RepairedInconsistent)
+	}
+}
+
+func TestCorruptionPlusDeviceFault(t *testing.T) {
+	p := fastProfile()
+	p.Workload.Objects = 24
+	p.Faults = []FaultSpec{
+		{Level: FaultLevelCorruption, Count: 3, AtSeconds: 1},
+		{Level: FaultLevelDevice, Count: 1, AtSeconds: 5},
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scrub == nil || len(res.Scrub.Inconsistent) != 3 {
+		t.Fatalf("scrub: %+v", res.Scrub)
+	}
+	if res.Recovery == nil || !res.Recovery.Done() {
+		t.Fatal("device fault recovery missing")
+	}
+}
+
+func TestCorruptionPlanValidation(t *testing.T) {
+	p := fastProfile()
+	p.Faults = []FaultSpec{{Level: FaultLevelCorruption, Count: 1_000_000, AtSeconds: 1}}
+	if _, err := Run(p); err == nil {
+		t.Fatal("corrupting more chunks than objects should fail planning")
+	}
+	p.Faults = []FaultSpec{{Level: "bitflip", Count: 1}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestCorruptionProfileValid(t *testing.T) {
+	p := DefaultProfile()
+	p.Faults = []FaultSpec{{Level: FaultLevelCorruption, Count: 100, AtSeconds: 0}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/erasure"
+	"repro/internal/simclock"
+)
+
+// ErrExceedsTolerance is returned when a planned fault would lose more
+// chunks in some placement group than the code can repair — the white-box
+// guarantee of §3.2.
+var ErrExceedsTolerance = errors.New("core: fault plan exceeds the pool's fault tolerance")
+
+// FaultInjector plans and applies the profiled faults against a cluster.
+// Planning is EC-aware: it uses placement knowledge to pick targets that
+// actually hold data, and refuses plans that exceed n-k failures within
+// the failure domain.
+type FaultInjector struct {
+	c    *cluster.Cluster
+	pool string
+}
+
+// NewFaultInjector binds an injector to a cluster and pool.
+func NewFaultInjector(c *cluster.Cluster, pool string) *FaultInjector {
+	return &FaultInjector{c: c, pool: pool}
+}
+
+// Corruption targets one object's shard for silent damage.
+type Corruption struct {
+	Object string
+	Shard  int
+}
+
+// PlannedFault is a resolved fault: concrete OSD targets (node/device
+// levels) or chunk targets (corruption level), and a time.
+type PlannedFault struct {
+	Spec        FaultSpec
+	At          simclock.Time
+	OSDs        []int
+	Corruptions []Corruption
+}
+
+// chunkCounts returns per-OSD chunk counts for the pool.
+func (f *FaultInjector) chunkCounts() (map[int]int, error) {
+	pool, err := f.c.Pool(f.pool)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[int]int{}
+	for _, pg := range pool.PGs {
+		if len(pg.Objects) == 0 {
+			continue
+		}
+		for _, id := range pg.Acting {
+			counts[id] += len(pg.Objects)
+		}
+	}
+	return counts, nil
+}
+
+// hostsByChunkCount returns hosts ordered by how many chunks of the pool
+// they hold, descending, ties broken by name.
+func (f *FaultInjector) hostsByChunkCount() ([]string, map[string]int, error) {
+	osdCounts, err := f.chunkCounts()
+	if err != nil {
+		return nil, nil, err
+	}
+	counts := map[string]int{}
+	for id, n := range osdCounts {
+		counts[f.c.Crush().HostOf(id)] += n
+	}
+	hosts := make([]string, 0, len(counts))
+	for h := range counts {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		if counts[hosts[i]] != counts[hosts[j]] {
+			return counts[hosts[i]] > counts[hosts[j]]
+		}
+		return hosts[i] < hosts[j]
+	})
+	if len(hosts) == 0 {
+		return nil, nil, fmt.Errorf("core: pool %q holds no data to fault", f.pool)
+	}
+	return hosts, counts, nil
+}
+
+// heaviestOSDs returns a host's OSD ids ordered by chunk count descending
+// (ties by id), so device faults hit data-bearing devices first.
+func (f *FaultInjector) heaviestOSDs(host string, osdCounts map[int]int) []int {
+	ids := append([]int(nil), f.c.Crush().OSDsOnHost(host)...)
+	sort.Slice(ids, func(i, j int) bool {
+		if osdCounts[ids[i]] != osdCounts[ids[j]] {
+			return osdCounts[ids[i]] > osdCounts[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Plan resolves a fault spec into concrete targets.
+func (f *FaultInjector) Plan(spec FaultSpec) (PlannedFault, error) {
+	at := simclock.Time(spec.AtSeconds * float64(time.Second))
+	pf := PlannedFault{Spec: spec, At: at}
+	if len(spec.OSDs) > 0 {
+		pf.OSDs = append([]int(nil), spec.OSDs...)
+		return pf, f.guard(pf.OSDs)
+	}
+	hosts, _, err := f.hostsByChunkCount()
+	if err != nil {
+		return pf, err
+	}
+	osdCounts, err := f.chunkCounts()
+	if err != nil {
+		return pf, err
+	}
+	switch spec.Level {
+	case FaultLevelCorruption:
+		pool, err := f.c.Pool(f.pool)
+		if err != nil {
+			return pf, err
+		}
+		// One corrupted shard per object, spread over PGs and shard
+		// positions deterministically — never exceeding what one scrub
+		// repair can fix per object.
+		shard := 0
+		for _, pg := range pool.PGs {
+			for _, obj := range pg.Objects {
+				if len(pf.Corruptions) == spec.Count {
+					return pf, nil
+				}
+				pf.Corruptions = append(pf.Corruptions, Corruption{Object: obj.Name, Shard: shard % len(pg.Acting)})
+				shard++
+			}
+		}
+		if len(pf.Corruptions) < spec.Count {
+			return pf, fmt.Errorf("core: pool has %d objects, cannot corrupt %d chunks", len(pf.Corruptions), spec.Count)
+		}
+		return pf, nil
+	case FaultLevelNode:
+		if spec.Count > len(hosts) {
+			return pf, fmt.Errorf("core: cannot fail %d nodes, only %d hold data", spec.Count, len(hosts))
+		}
+		for _, h := range hosts[:spec.Count] {
+			pf.OSDs = append(pf.OSDs, f.c.Crush().OSDsOnHost(h)...)
+		}
+	case FaultLevelDevice:
+		switch spec.Locality {
+		case LocalitySameHost:
+			// All failed devices on the data-heaviest host with enough
+			// OSDs.
+			for _, h := range hosts {
+				ids := f.heaviestOSDs(h, osdCounts)
+				if len(ids) >= spec.Count {
+					pf.OSDs = ids[:spec.Count]
+					break
+				}
+			}
+			if len(pf.OSDs) == 0 {
+				return pf, fmt.Errorf("core: no host has %d devices", spec.Count)
+			}
+		case LocalityDiffHosts:
+			if spec.Count > len(hosts) {
+				return pf, fmt.Errorf("core: cannot spread %d device failures over %d data hosts", spec.Count, len(hosts))
+			}
+			// The chunk-heaviest device on each of the data-heaviest
+			// hosts, so same-host and diff-hosts plans lose comparable
+			// chunk volumes.
+			for _, h := range hosts[:spec.Count] {
+				pf.OSDs = append(pf.OSDs, f.heaviestOSDs(h, osdCounts)[0])
+			}
+		default:
+			// The N chunk-heaviest devices on the data-heaviest host.
+			ids := f.heaviestOSDs(hosts[0], osdCounts)
+			if spec.Count > len(ids) {
+				return pf, fmt.Errorf("core: host %s has %d devices, need %d", hosts[0], len(ids), spec.Count)
+			}
+			pf.OSDs = ids[:spec.Count]
+		}
+	default:
+		return pf, fmt.Errorf("%w: fault level %q", ErrInvalidProfile, spec.Level)
+	}
+	return pf, f.guard(pf.OSDs)
+}
+
+// guard enforces the white-box fault-tolerance rule: no placement group
+// may lose more chunks than the code's parity count.
+func (f *FaultInjector) guard(osds []int) error {
+	pool, err := f.c.Pool(f.pool)
+	if err != nil {
+		return err
+	}
+	down := map[int]bool{}
+	for _, id := range osds {
+		down[id] = true
+	}
+	for _, pg := range pool.PGs {
+		var lost []int
+		for shard, id := range pg.Acting {
+			if down[id] {
+				lost = append(lost, shard)
+			}
+		}
+		if len(lost) == 0 {
+			continue
+		}
+		// Pattern-aware for non-MDS codes (LRC, SHEC): the same count of
+		// losses can be fatal or benign depending on which shards they hit.
+		if !erasure.CanRecover(pool.Code, lost) {
+			return fmt.Errorf("%w: pg %d would lose shards %v", ErrExceedsTolerance, pg.ID, lost)
+		}
+	}
+	return nil
+}
+
+// Inject applies a planned fault to the cluster. Corruption faults apply
+// immediately (they are latent until a scrub); node and device faults
+// are scheduled on the simulator.
+func (f *FaultInjector) Inject(pf PlannedFault) error {
+	if pf.Spec.Level == FaultLevelCorruption {
+		for _, corr := range pf.Corruptions {
+			if err := f.c.CorruptChunk(f.pool, corr.Object, corr.Shard); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f.c.InjectOSDFailures(pf.At, pf.OSDs...)
+	return nil
+}
+
+// PlanAll plans every fault of a profile.
+func (f *FaultInjector) PlanAll(specs []FaultSpec) ([]PlannedFault, error) {
+	out := make([]PlannedFault, 0, len(specs))
+	for i, s := range specs {
+		pf, err := f.Plan(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault %d: %w", i, err)
+		}
+		out = append(out, pf)
+	}
+	return out, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunScheduleMultiRound(t *testing.T) {
+	p := fastProfile()
+	p.Faults = nil
+	sched := Schedule{
+		GapSeconds: 30,
+		Rounds: []FaultSpec{
+			{Level: FaultLevelDevice, Count: 1, AtSeconds: 5},
+			{Level: FaultLevelDevice, Count: 1, AtSeconds: 5},
+			{Level: FaultLevelCorruption, Count: 3, AtSeconds: 1},
+		},
+	}
+	res, err := RunSchedule(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	// Two device rounds with recoveries, one corruption round without.
+	if res.Rounds[0].Recovery == nil || res.Rounds[1].Recovery == nil {
+		t.Fatal("device rounds missing recovery results")
+	}
+	if res.Rounds[2].Recovery != nil {
+		t.Fatal("corruption round should not run availability recovery")
+	}
+	if res.Rounds[1].Recovery.DetectedAt <= res.Rounds[0].Recovery.FinishedAt {
+		t.Fatal("round 2 must start after round 1 completes")
+	}
+	// Different devices fail in each round (the first is dead already).
+	if res.Rounds[0].Plan.OSDs[0] == res.Rounds[1].Plan.OSDs[0] {
+		t.Fatal("round 2 re-failed a dead OSD")
+	}
+	if res.TotalRepairedChunks == 0 {
+		t.Fatal("nothing repaired")
+	}
+	// After all rounds every PG is clean; OSDs remain down.
+	if !strings.Contains(res.Health, "0 degraded") || !strings.Contains(res.Health, "0 incomplete") {
+		t.Fatalf("final health: %s", res.Health)
+	}
+}
+
+func TestRunScheduleValidation(t *testing.T) {
+	p := fastProfile()
+	if _, err := RunSchedule(p, Schedule{}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	bad := fastProfile()
+	bad.Pool.K = 0
+	if _, err := RunSchedule(bad, Schedule{Rounds: []FaultSpec{{Level: FaultLevelDevice, Count: 1}}}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

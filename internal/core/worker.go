@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blockdev"
+	"repro/internal/nvmeof"
+)
+
+// Worker is the per-node ECFault agent (§3): it provisions virtual NVMe
+// disks to the node through the remote storage protocol and applies
+// device-level faults by removing their subsystems, decoupling the DSS
+// from its storage so device state is controlled from outside the system
+// under test.
+type Worker struct {
+	host   string
+	target *nvmeof.Target
+
+	mu      sync.Mutex
+	clients map[int]*nvmeof.Client // osd id -> initiator association
+}
+
+// NewWorker starts a worker on a node: its NVMe-oF target listens on a
+// loopback TCP port.
+func NewWorker(host string) (*Worker, error) {
+	t := nvmeof.NewTarget()
+	if err := t.Listen("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("core: worker %s: %w", host, err)
+	}
+	return &Worker{host: host, target: t, clients: map[int]*nvmeof.Client{}}, nil
+}
+
+// Host returns the node this worker runs on.
+func (w *Worker) Host() string { return w.host }
+
+// Addr returns the worker's NVMe-oF target address.
+func (w *Worker) Addr() string { return w.target.Addr() }
+
+func nqnFor(osd int) string { return fmt.Sprintf("nqn.2024-07.io.ecfault:osd%d", osd) }
+
+// Provision exports the OSD's device through the target and connects an
+// initiator, verifying the namespace is visible — the path a DataNode
+// would mount as a local disk.
+func (w *Worker) Provision(osd int, dev *blockdev.Device) error {
+	nqn := nqnFor(osd)
+	if err := w.target.AddSubsystem(nqn); err != nil {
+		return err
+	}
+	if err := w.target.AddNamespace(nqn, 1, dev); err != nil {
+		return err
+	}
+	client, err := nvmeof.Connect(w.target.Addr(), nqn)
+	if err != nil {
+		return err
+	}
+	infos, err := client.Identify()
+	if err != nil {
+		client.Close()
+		return fmt.Errorf("core: identify osd.%d: %w", osd, err)
+	}
+	if len(infos) != 1 || infos[0].Size != uint64(dev.Capacity()) {
+		client.Close()
+		return fmt.Errorf("core: osd.%d namespace mismatch: %+v", osd, infos)
+	}
+	w.mu.Lock()
+	w.clients[osd] = client
+	w.mu.Unlock()
+	return nil
+}
+
+// FailDevice removes the OSD's subsystem: live associations are severed
+// and the backing device errors from then on — the device-level fault.
+func (w *Worker) FailDevice(osd int) error {
+	return w.target.RemoveSubsystem(nqnFor(osd))
+}
+
+// DeviceAlive checks whether the OSD's remote device still answers I/O.
+func (w *Worker) DeviceAlive(osd int) bool {
+	w.mu.Lock()
+	client, ok := w.clients[osd]
+	w.mu.Unlock()
+	if !ok {
+		return false
+	}
+	_, err := client.Identify()
+	return err == nil
+}
+
+// Provisioned lists the OSDs this worker has provisioned.
+func (w *Worker) Provisioned() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.clients))
+	for id := range w.clients {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Close shuts down the worker's target and associations.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	for _, c := range w.clients {
+		c.Close()
+	}
+	w.clients = map[int]*nvmeof.Client{}
+	w.mu.Unlock()
+	return w.target.Close()
+}

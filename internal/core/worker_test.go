@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func TestWorkerLifecycle(t *testing.T) {
+	w, err := NewWorker("host42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Host() != "host42" {
+		t.Fatalf("host = %s", w.Host())
+	}
+	if w.Addr() == "" {
+		t.Fatal("no target address")
+	}
+	dev, err := blockdev.New("nvme0n1", 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Provision(7, dev); err != nil {
+		t.Fatal(err)
+	}
+	ids := w.Provisioned()
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("provisioned = %v", ids)
+	}
+	if !w.DeviceAlive(7) {
+		t.Fatal("device should answer")
+	}
+	if w.DeviceAlive(99) {
+		t.Fatal("unprovisioned device reported alive")
+	}
+	// Double provisioning the same OSD must fail (duplicate subsystem).
+	dev2, _ := blockdev.New("dup", 1<<20, 4096)
+	if err := w.Provision(7, dev2); err == nil {
+		t.Fatal("double provision accepted")
+	}
+	if err := w.FailDevice(7); err != nil {
+		t.Fatal(err)
+	}
+	if w.DeviceAlive(7) {
+		t.Fatal("failed device still alive")
+	}
+	if err := w.FailDevice(7); err == nil {
+		t.Fatal("double fail accepted (subsystem gone)")
+	}
+}
+
+func TestECManagerRejectsInvalidProfile(t *testing.T) {
+	p := DefaultProfile()
+	p.Pool.K = 0
+	if _, err := NewECManager(p); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestNewCoordinatorRejectsInvalidProfile(t *testing.T) {
+	p := DefaultProfile()
+	p.Workload.Objects = 0
+	if _, err := NewCoordinator(p); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package crush
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildCluster makes hosts x osdsPerHost OSDs of weight 1.
+func buildCluster(t *testing.T, hosts, osdsPerHost int) *Map {
+	t.Helper()
+	b := NewBuilder()
+	for h := 0; h < hosts; h++ {
+		name := hostName(h)
+		if err := b.AddHost(name, ""); err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < osdsPerHost; d++ {
+			if _, err := b.AddOSD(name, 1.0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func hostName(h int) string { return "host" + string(rune('a'+h%26)) + string(rune('0'+h/26)) }
+
+func TestBuildTopology(t *testing.T) {
+	m := buildCluster(t, 5, 2)
+	if m.NumOSDs() != 10 {
+		t.Fatalf("NumOSDs = %d", m.NumOSDs())
+	}
+	if len(m.Hosts()) != 5 {
+		t.Fatalf("Hosts = %v", m.Hosts())
+	}
+	if m.HostOf(0) != m.HostOf(1) {
+		t.Fatal("osd 0 and 1 should share a host")
+	}
+	if m.HostOf(0) == m.HostOf(2) {
+		t.Fatal("osd 0 and 2 should be on different hosts")
+	}
+	ids := m.OSDsOnHost(m.HostOf(0))
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("OSDsOnHost = %v", ids)
+	}
+	if m.Root.Weight != 10 {
+		t.Fatalf("root weight = %f", m.Root.Weight)
+	}
+}
+
+func TestSelectDeterministic(t *testing.T) {
+	m := buildCluster(t, 15, 2)
+	a, err := m.Select(42, 12, TypeHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Select(42, 12, TypeHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selection not deterministic")
+		}
+	}
+}
+
+func TestSelectDistinctDomains(t *testing.T) {
+	m := buildCluster(t, 15, 2)
+	for seed := uint64(0); seed < 200; seed++ {
+		sel, err := m.Select(seed, 12, TypeHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel) != 12 {
+			t.Fatalf("len = %d", len(sel))
+		}
+		hosts := map[string]bool{}
+		osds := map[int]bool{}
+		for _, o := range sel {
+			if osds[o] {
+				t.Fatal("duplicate OSD selected")
+			}
+			osds[o] = true
+			h := m.HostOf(o)
+			if hosts[h] {
+				t.Fatalf("seed %d: host %s selected twice", seed, h)
+			}
+			hosts[h] = true
+		}
+	}
+}
+
+func TestSelectOSDDomainAllowsSameHost(t *testing.T) {
+	m := buildCluster(t, 4, 3) // 12 OSDs over 4 hosts
+	sel, err := m.Select(7, 12, TypeOSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 12 {
+		t.Fatalf("len = %d", len(sel))
+	}
+	// Must include multiple OSDs of the same host (only 4 hosts).
+	seen := map[int]bool{}
+	for _, o := range sel {
+		if seen[o] {
+			t.Fatal("duplicate OSD")
+		}
+		seen[o] = true
+	}
+}
+
+func TestSelectInsufficientDomains(t *testing.T) {
+	m := buildCluster(t, 5, 2)
+	if _, err := m.Select(1, 6, TypeHost); !errors.Is(err, ErrNotEnoughDomains) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSelectUnknownDomain(t *testing.T) {
+	m := buildCluster(t, 3, 1)
+	if _, err := m.Select(1, 2, "datacenter"); !errors.Is(err, ErrUnknownDomain) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSetOutExcludesOSD(t *testing.T) {
+	m := buildCluster(t, 15, 2)
+	sel, _ := m.Select(9, 12, TypeHost)
+	victim := sel[0]
+	m.SetOut(victim, true)
+	sel2, err := m.Select(9, 12, TypeHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sel2 {
+		if o == victim {
+			t.Fatal("out OSD still selected")
+		}
+	}
+	// Bring it back: mapping returns to the original.
+	m.SetOut(victim, false)
+	sel3, _ := m.Select(9, 12, TypeHost)
+	for i := range sel {
+		if sel[i] != sel3[i] {
+			t.Fatal("mapping did not return after SetOut(false)")
+		}
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	m := buildCluster(t, 10, 2)
+	counts := make([]int, m.NumOSDs())
+	const pgs = 4000
+	for seed := uint64(0); seed < pgs; seed++ {
+		sel, err := m.Select(seed, 3, TypeHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range sel {
+			counts[o]++
+		}
+	}
+	mean := float64(pgs*3) / float64(m.NumOSDs())
+	for id, c := range counts {
+		if float64(c) < mean*0.7 || float64(c) > mean*1.3 {
+			t.Fatalf("osd %d has %d placements, mean %.0f — distribution too skewed", id, c, mean)
+		}
+	}
+}
+
+func TestWeightBias(t *testing.T) {
+	b := NewBuilder()
+	_ = b.AddHost("h1", "")
+	_ = b.AddHost("h2", "")
+	heavy, _ := b.AddOSD("h1", 4.0)
+	light, _ := b.AddOSD("h2", 1.0)
+	m := b.Build()
+	hc, lc := 0, 0
+	for seed := uint64(0); seed < 2000; seed++ {
+		sel, err := m.Select(seed, 1, TypeOSD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch sel[0] {
+		case heavy:
+			hc++
+		case light:
+			lc++
+		}
+	}
+	// Expect roughly 4:1; accept 2.5:1 as a loose bound.
+	if float64(hc) < 2.5*float64(lc) {
+		t.Fatalf("weight bias too weak: heavy=%d light=%d", hc, lc)
+	}
+}
+
+func TestRacks(t *testing.T) {
+	b := NewBuilder()
+	_ = b.AddRack("r1")
+	_ = b.AddRack("r2")
+	_ = b.AddHost("h1", "r1")
+	_ = b.AddHost("h2", "r1")
+	_ = b.AddHost("h3", "r2")
+	_ = b.AddHost("h4", "r2")
+	for _, h := range []string{"h1", "h2", "h3", "h4"} {
+		if _, err := b.AddOSD(h, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := b.Build()
+	if m.RackOf(0) != "r1" || m.RackOf(3) != "r2" {
+		t.Fatal("rack mapping wrong")
+	}
+	for seed := uint64(0); seed < 50; seed++ {
+		sel, err := m.Select(seed, 2, TypeRack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.RackOf(sel[0]) == m.RackOf(sel[1]) {
+			t.Fatal("rack domain violated")
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	if err := b.AddHost("h", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddHost("h", ""); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if err := b.AddHost("x", "norack"); err == nil {
+		t.Fatal("unknown rack accepted")
+	}
+	if _, err := b.AddOSD("nohost", 1); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}

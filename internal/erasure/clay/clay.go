@@ -1,0 +1,606 @@
+// Package clay implements the Clay (coupled-layer) code of Vajha et al.
+// (FAST '18), the minimum-storage-regenerating construction shipped as
+// Ceph's "clay" erasure-code plugin.
+//
+// A Clay(n=k+m, k, d) code with d = n-1 arranges the n chunks on a q x t
+// grid (q = m, t = n/q) and divides every chunk into alpha = q^t
+// sub-chunks, one per "plane" z in [q]^t. Coupled symbols C (what is
+// stored) relate to uncoupled symbols U through an invertible pairwise
+// transform; within every plane the uncoupled symbols form a codeword of an
+// [nt, nt-q] MDS code. Single-chunk repair touches only the beta = alpha/q
+// planes that intersect the failed chunk, reading beta sub-chunks from each
+// of the d = n-1 helpers: repair traffic (n-1)/q chunks instead of
+// Reed-Solomon's k chunks.
+//
+// When q does not divide n the code is shortened: virtual all-zero data
+// chunks pad the grid, exactly as Ceph does.
+//
+// Multiple erasures fall back to a full decode that reads every sub-chunk
+// of the surviving chunks and recovers planes in increasing
+// intersection-score order, also matching the Ceph plugin's behaviour.
+package clay
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/erasure"
+	"repro/internal/gf256"
+	"repro/internal/gfmat"
+)
+
+// gamma is the coupling coefficient of the pairwise transforms. Any value
+// outside {0, 1} yields an invertible transform; 2 matches the generator
+// of the field.
+const gamma byte = 2
+
+// Clay is a Clay code instance. It is safe for concurrent use.
+type Clay struct {
+	k, m, d int
+	q, t    int
+	nt      int   // q*t internal grid nodes (>= n, extras are virtual zeros)
+	kInt    int   // nt - q internal data nodes
+	alpha   int   // q^t sub-chunks per chunk
+	beta    int   // alpha / q sub-chunks read per helper on single repair
+	pow     []int // pow[i] = q^i, i in [0, t]
+
+	base *gfmat.Matrix // nt x kInt MDS generator for the uncoupled planes
+
+	invGamma2 byte // (1 + gamma^2)^-1, used by the reverse transform
+
+	mu        sync.Mutex
+	decodeLRU map[string]*gfmat.Matrix
+}
+
+// New constructs a Clay(k+m, k, d) code. Only the repair-optimal
+// configuration d = k+m-1 is supported (Ceph's default); other values
+// return an error.
+func New(k, m, d int) (*Clay, error) {
+	if k <= 0 || m <= 1 {
+		return nil, fmt.Errorf("clay: require k >= 1 and m >= 2 (k=%d m=%d)", k, m)
+	}
+	if d != k+m-1 {
+		return nil, fmt.Errorf("clay: only d = k+m-1 is supported (k=%d m=%d d=%d)", k, m, d)
+	}
+	q := d - k + 1 // == m
+	n := k + m
+	t := (n + q - 1) / q
+	nt := q * t
+	alpha := 1
+	for i := 0; i < t; i++ {
+		alpha *= q
+		if alpha > 1<<20 {
+			return nil, fmt.Errorf("clay: sub-packetization q^t = %d^%d too large", q, t)
+		}
+	}
+	pow := make([]int, t+1)
+	pow[0] = 1
+	for i := 1; i <= t; i++ {
+		pow[i] = pow[i-1] * q
+	}
+	if nt > 256 {
+		return nil, fmt.Errorf("clay: internal width %d exceeds GF(2^8) limit", nt)
+	}
+	g2 := gf256.Mul(gamma, gamma) ^ 1
+	c := &Clay{
+		k: k, m: m, d: d,
+		q: q, t: t, nt: nt, kInt: nt - q,
+		alpha: alpha, beta: alpha / q,
+		pow:       pow,
+		base:      gfmat.Cauchy(nt, nt-q),
+		invGamma2: gf256.Inv(g2),
+		decodeLRU: map[string]*gfmat.Matrix{},
+	}
+	return c, nil
+}
+
+func init() {
+	erasure.Register("clay", func(k, m, d int) (erasure.Code, error) {
+		if d == 0 {
+			d = k + m - 1
+		}
+		return New(k, m, d)
+	})
+}
+
+// Name implements erasure.Code.
+func (c *Clay) Name() string { return "clay" }
+
+// K implements erasure.Code.
+func (c *Clay) K() int { return c.k }
+
+// M implements erasure.Code.
+func (c *Clay) M() int { return c.m }
+
+// N implements erasure.Code.
+func (c *Clay) N() int { return c.k + c.m }
+
+// D is the number of helpers contacted for a single-chunk repair.
+func (c *Clay) D() int { return c.d }
+
+// SubChunks implements erasure.Code.
+func (c *Clay) SubChunks() int { return c.alpha }
+
+// Beta is the number of sub-chunks read from each helper during
+// single-chunk repair (alpha / q).
+func (c *Clay) Beta() int { return c.beta }
+
+// internalIndex maps an external shard index (0..n-1, data first then
+// parity) to the internal grid index. Virtual zero-data nodes occupy
+// internal indices k..kInt-1; parity shards occupy kInt..nt-1.
+func (c *Clay) internalIndex(ext int) int {
+	if ext < c.k {
+		return ext
+	}
+	return c.kInt + (ext - c.k)
+}
+
+// externalIndex is the inverse of internalIndex; virtual nodes return -1.
+func (c *Clay) externalIndex(internal int) int {
+	if internal < c.k {
+		return internal
+	}
+	if internal < c.kInt {
+		return -1
+	}
+	return c.k + (internal - c.kInt)
+}
+
+// nodeXY decomposes an internal node index into grid coordinates.
+func (c *Clay) nodeXY(u int) (x, y int) { return u % c.q, u / c.q }
+
+// digit returns coordinate y of plane z.
+func (c *Clay) digit(z, y int) int { return (z / c.pow[c.t-1-y]) % c.q }
+
+// setDigit returns plane z with coordinate y replaced by v.
+func (c *Clay) setDigit(z, y, v int) int {
+	old := c.digit(z, y)
+	return z + (v-old)*c.pow[c.t-1-y]
+}
+
+// pairU converts a coupled pair to this vertex's uncoupled value:
+// U1 = (C1 + gamma*C2) / (1 + gamma^2).
+func (c *Clay) pairU(c1, c2 byte) byte {
+	return gf256.Mul(c.invGamma2, c1^gf256.Mul(gamma, c2))
+}
+
+// coupleC converts a pair of uncoupled values back to this vertex's
+// coupled value: C1 = U1 + gamma*U2.
+func coupleC(u1, u2 byte) byte { return u1 ^ gf256.Mul(gamma, u2) }
+
+// Encode implements erasure.Code. Encoding is performed as a decode with
+// the m parity chunks treated as erasures, the same strategy the Ceph
+// plugin uses.
+func (c *Clay) Encode(shards [][]byte) error {
+	n := c.N()
+	if len(shards) != n {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), n)
+	}
+	size := -1
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			return fmt.Errorf("%w: data shard %d is nil", erasure.ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(shards[i])
+		} else if len(shards[i]) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, i, len(shards[i]), size)
+		}
+	}
+	if size%c.alpha != 0 {
+		return fmt.Errorf("%w: shard size %d not divisible by alpha=%d", erasure.ErrShardSize, size, c.alpha)
+	}
+	for i := c.k; i < n; i++ {
+		shards[i] = nil
+	}
+	return c.Decode(shards)
+}
+
+// Decode implements erasure.Code: full decode of up to m missing shards by
+// processing planes in increasing intersection-score order.
+func (c *Clay) Decode(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, c.N(), c.alpha)
+	if err != nil {
+		return err
+	}
+	var missingExt []int
+	for i, s := range shards {
+		if s == nil {
+			missingExt = append(missingExt, i)
+		}
+	}
+	if len(missingExt) == 0 {
+		return nil
+	}
+	if len(missingExt) > c.m {
+		return fmt.Errorf("%w: %d lost, max %d", erasure.ErrTooManyErasures, len(missingExt), c.m)
+	}
+	scs := size / c.alpha
+
+	erased := make([]bool, c.nt)
+	for _, e := range missingExt {
+		erased[c.internalIndex(e)] = true
+		shards[e] = make([]byte, size)
+	}
+
+	// C holds coupled symbols per internal node: virtual nodes are zero;
+	// real nodes alias the shard buffers. U is computed per plane.
+	C := make([][]byte, c.nt)
+	zero := make([]byte, size)
+	for u := 0; u < c.nt; u++ {
+		ext := c.externalIndex(u)
+		if ext == -1 {
+			C[u] = zero
+		} else {
+			C[u] = shards[ext]
+		}
+	}
+	// U for every node and plane; filled as planes are processed.
+	U := make([][]byte, c.nt)
+	for u := range U {
+		U[u] = make([]byte, size)
+	}
+
+	// Group planes by intersection score.
+	byScore := make([][]int, c.t+1)
+	for z := 0; z < c.alpha; z++ {
+		s := c.intersectionScore(z, erased)
+		byScore[s] = append(byScore[s], z)
+	}
+
+	dec, err := c.planeDecoder(erased)
+	if err != nil {
+		return err
+	}
+
+	for s := 0; s <= c.t; s++ {
+		for _, z := range byScore[s] {
+			if err := c.decodePlane(z, erased, C, U, dec, scs); err != nil {
+				return err
+			}
+		}
+	}
+
+	// All U known everywhere; convert U -> C for the erased nodes.
+	for u := 0; u < c.nt; u++ {
+		if !erased[u] {
+			continue
+		}
+		x, y := c.nodeXY(u)
+		for z := 0; z < c.alpha; z++ {
+			off := z * scs
+			dst := C[u][off : off+scs]
+			if c.digit(z, y) == x {
+				copy(dst, U[u][off:off+scs])
+				continue
+			}
+			comp := c.digit(z, y)*1 + y*c.q // companion node (z_y, y)
+			zc := c.setDigit(z, y, x)
+			co := zc * scs
+			for b := 0; b < scs; b++ {
+				dst[b] = coupleC(U[u][off+b], U[comp][co+b])
+			}
+		}
+	}
+	return nil
+}
+
+// intersectionScore counts erased nodes (x,y) whose grid column intersects
+// plane z, i.e. z_y == x.
+func (c *Clay) intersectionScore(z int, erased []bool) int {
+	s := 0
+	for u := 0; u < c.nt; u++ {
+		if !erased[u] {
+			continue
+		}
+		x, y := c.nodeXY(u)
+		if c.digit(z, y) == x {
+			s++
+		}
+	}
+	return s
+}
+
+// planeDecoder returns the kInt x kInt inverse used to solve a plane's
+// uncoupled MDS codeword for the erased nodes, memoized per erasure set.
+func (c *Clay) planeDecoder(erased []bool) (*planeSolver, error) {
+	key := fmt.Sprint(erased)
+	c.mu.Lock()
+	cached, ok := c.decodeLRU[key]
+	c.mu.Unlock()
+	var inv *gfmat.Matrix
+	survivors := make([]int, 0, c.kInt)
+	var lost []int
+	for u := 0; u < c.nt; u++ {
+		if erased[u] {
+			lost = append(lost, u)
+		} else if len(survivors) < c.kInt {
+			survivors = append(survivors, u)
+		}
+	}
+	if ok {
+		inv = cached
+	} else {
+		sub := c.base.SubMatrix(survivors)
+		var err error
+		inv, err = sub.Invert()
+		if err != nil {
+			return nil, fmt.Errorf("clay: plane decode matrix: %w", err)
+		}
+		c.mu.Lock()
+		if len(c.decodeLRU) > 256 {
+			c.decodeLRU = map[string]*gfmat.Matrix{}
+		}
+		c.decodeLRU[key] = inv
+		c.mu.Unlock()
+	}
+	// lostRows[i] = generator row of lost node i times inv: maps survivor
+	// symbols directly to the lost symbol.
+	solver := &planeSolver{survivors: survivors, lost: lost}
+	for _, l := range lost {
+		row := c.base.SubMatrix([]int{l}).Mul(inv)
+		solver.lostRows = append(solver.lostRows, row.Row(0))
+	}
+	return solver, nil
+}
+
+// planeSolver recovers erased uncoupled symbols within one plane from the
+// first kInt surviving symbols.
+type planeSolver struct {
+	survivors []int    // kInt surviving node indices used as inputs
+	lost      []int    // erased node indices
+	lostRows  [][]byte // coefficients mapping survivor symbols to each lost symbol
+}
+
+// decodePlane computes U for every node in plane z. Survivor U values come
+// from the pairwise reverse transform (using companion C from this plane,
+// or companion U from an already-processed lower-score plane when the
+// companion node is erased); erased U values come from the per-plane MDS
+// solve.
+func (c *Clay) decodePlane(z int, erased []bool, C, U [][]byte, dec *planeSolver, scs int) error {
+	off := z * scs
+	for u := 0; u < c.nt; u++ {
+		if erased[u] {
+			continue
+		}
+		x, y := c.nodeXY(u)
+		zy := c.digit(z, y)
+		dst := U[u][off : off+scs]
+		if zy == x {
+			copy(dst, C[u][off:off+scs]) // unpaired vertex
+			continue
+		}
+		comp := zy + y*c.q // companion node (z_y, y)
+		zc := c.setDigit(z, y, x)
+		co := zc * scs
+		if !erased[comp] {
+			// Both coupled symbols are available.
+			c1 := C[u][off : off+scs]
+			c2 := C[comp][co : co+scs]
+			for b := 0; b < scs; b++ {
+				dst[b] = c.pairU(c1[b], c2[b])
+			}
+		} else {
+			// Companion plane has score-1 and is already solved:
+			// U1 = C1 + gamma * U2.
+			c1 := C[u][off : off+scs]
+			u2 := U[comp][co : co+scs]
+			for b := 0; b < scs; b++ {
+				dst[b] = coupleC(c1[b], u2[b])
+			}
+		}
+	}
+	// Solve for erased U values from the plane's MDS codeword.
+	for li, l := range dec.lost {
+		dst := U[l][off : off+scs]
+		clear(dst)
+		row := dec.lostRows[li]
+		for si, sv := range dec.survivors {
+			gf256.MulAddSlice(row[si], U[sv][off:off+scs], dst)
+		}
+	}
+	return nil
+}
+
+// repairPlanes returns the plane indices intersecting internal node u0.
+func (c *Clay) repairPlanes(u0 int) []int {
+	x0, y0 := c.nodeXY(u0)
+	planes := make([]int, 0, c.beta)
+	for z := 0; z < c.alpha; z++ {
+		if c.digit(z, y0) == x0 {
+			planes = append(planes, z)
+		}
+	}
+	return planes
+}
+
+// RepairPlan implements erasure.Code. A single failure uses the
+// repair-optimal plan (beta sub-chunks from each of the d = n-1 helpers);
+// multiple failures fall back to reading all sub-chunks from every
+// survivor, as the Ceph plugin does.
+func (c *Clay) RepairPlan(failed []int) (*erasure.Plan, error) {
+	if len(failed) == 0 {
+		return &erasure.Plan{SubChunkTotal: c.alpha}, nil
+	}
+	if len(failed) > c.m {
+		return nil, fmt.Errorf("%w: %d lost, max %d", erasure.ErrTooManyErasures, len(failed), c.m)
+	}
+	lost := map[int]bool{}
+	for _, f := range failed {
+		if f < 0 || f >= c.N() {
+			return nil, fmt.Errorf("clay: invalid shard index %d", f)
+		}
+		lost[f] = true
+	}
+	plan := &erasure.Plan{Failed: append([]int(nil), failed...), SubChunkTotal: c.alpha}
+	if len(failed) == 1 {
+		planes := c.repairPlanes(c.internalIndex(failed[0]))
+		for i := 0; i < c.N(); i++ {
+			if lost[i] {
+				continue
+			}
+			plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(i, planes))
+		}
+		return plan, nil
+	}
+	all := make([]int, c.alpha)
+	for i := range all {
+		all[i] = i
+	}
+	for i := 0; i < c.N(); i++ {
+		if lost[i] {
+			continue
+		}
+		plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(i, all))
+	}
+	return plan, nil
+}
+
+// Repair implements erasure.Code. Single failures use the plane-repair
+// algorithm and provably touch only the planned sub-chunks; multiple
+// failures delegate to Decode.
+func (c *Clay) Repair(shards [][]byte, failed []int) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	if len(failed) > 1 {
+		work := make([][]byte, len(shards))
+		copy(work, shards)
+		for _, f := range failed {
+			if f < 0 || f >= len(work) {
+				return fmt.Errorf("clay: invalid shard index %d", f)
+			}
+			work[f] = nil
+		}
+		if err := c.Decode(work); err != nil {
+			return err
+		}
+		for _, f := range failed {
+			shards[f] = work[f]
+		}
+		return nil
+	}
+	return c.repairSingle(shards, failed[0])
+}
+
+// repairSingle reconstructs one failed shard reading only the beta repair
+// planes from each survivor.
+func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
+	if len(shards) != c.N() {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), c.N())
+	}
+	size := -1
+	for i, s := range shards {
+		if i == failedExt {
+			continue
+		}
+		if s == nil {
+			return fmt.Errorf("clay: helper shard %d is nil", i)
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", erasure.ErrShardSize, i, len(s), size)
+		}
+	}
+	if size%c.alpha != 0 {
+		return fmt.Errorf("%w: shard size %d not divisible by alpha=%d", erasure.ErrShardSize, size, c.alpha)
+	}
+	scs := size / c.alpha
+	u0 := c.internalIndex(failedExt)
+	x0, y0 := c.nodeXY(u0)
+	planes := c.repairPlanes(u0)
+	out := make([]byte, size)
+
+	// C access: virtual nodes read as zero; the failed node must never be
+	// read.
+	zero := make([]byte, scs)
+	readC := func(u, z int) []byte {
+		ext := c.externalIndex(u)
+		if ext == -1 {
+			return zero
+		}
+		if ext == failedExt {
+			panic("clay: repair read from failed shard")
+		}
+		return shards[ext][z*scs : (z+1)*scs]
+	}
+
+	erased := make([]bool, c.nt)
+	// In the repair formulation the whole failed column y0 is "unknown" in
+	// U-space within each repair plane.
+	colUnknown := make([]int, 0, c.q)
+	for x := 0; x < c.q; x++ {
+		colUnknown = append(colUnknown, x+y0*c.q)
+	}
+	for _, u := range colUnknown {
+		erased[u] = true
+	}
+	dec, err := c.planeDecoder(erased)
+	if err != nil {
+		return err
+	}
+
+	uPlane := make([][]byte, c.nt) // U values within the current plane
+	for u := range uPlane {
+		uPlane[u] = make([]byte, scs)
+	}
+
+	for _, z := range planes {
+		// Step 1: U for all nodes outside column y0.
+		for u := 0; u < c.nt; u++ {
+			x, y := c.nodeXY(u)
+			if y == y0 {
+				continue
+			}
+			zy := c.digit(z, y)
+			if zy == x {
+				copy(uPlane[u], readC(u, z))
+				continue
+			}
+			comp := zy + y*c.q
+			zc := c.setDigit(z, y, x)
+			c1 := readC(u, z)
+			c2 := readC(comp, zc)
+			for b := 0; b < scs; b++ {
+				uPlane[u][b] = c.pairU(c1[b], c2[b])
+			}
+		}
+		// Step 2: MDS-solve the q unknowns of column y0.
+		for li, l := range dec.lost {
+			dst := uPlane[l]
+			clear(dst)
+			row := dec.lostRows[li]
+			for si, sv := range dec.survivors {
+				gf256.MulAddSlice(row[si], uPlane[sv], dst)
+			}
+		}
+		// Step 3: the failed node's sub-chunk in this plane is unpaired:
+		// C = U.
+		copy(out[z*scs:(z+1)*scs], uPlane[u0])
+		// Step 4: recover the failed node's sub-chunks in the companion
+		// (non-repair) planes via the coupling relations with column-y0
+		// survivors.
+		for x := 0; x < c.q; x++ {
+			if x == x0 {
+				continue
+			}
+			us := x + y0*c.q // surviving node (x, y0)
+			w := c.setDigit(z, y0, x)
+			// U2 = U(x0,y0,w) = (C(x,y0,z) - U(x,y0,z)) / gamma
+			cs := readC(us, z)
+			u2 := make([]byte, scs)
+			ig := gf256.Inv(gamma)
+			for b := 0; b < scs; b++ {
+				u2[b] = gf256.Mul(ig, cs[b]^uPlane[us][b])
+			}
+			// C(x0,y0,w) = U(x0,y0,w) + gamma * U(x,y0,z)
+			dst := out[w*scs : (w+1)*scs]
+			for b := 0; b < scs; b++ {
+				dst[b] = coupleC(u2[b], uPlane[us][b])
+			}
+		}
+	}
+	shards[failedExt] = out
+	return nil
+}

@@ -1,0 +1,61 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/erasure"
+
+	_ "repro/internal/erasure/clay"
+	_ "repro/internal/erasure/lrc"
+	_ "repro/internal/erasure/reedsolomon"
+	_ "repro/internal/erasure/shec"
+)
+
+// TestAllPluginsConform runs the compliance suite over every registered
+// plugin at representative geometries, including the paper's RS(12,9) and
+// Clay(12,9,11).
+func TestAllPluginsConform(t *testing.T) {
+	cases := []struct {
+		plugin  string
+		k, m, d int
+	}{
+		{"jerasure_reed_sol_van", 9, 3, 0},
+		{"jerasure_reed_sol_van", 4, 2, 0},
+		{"jerasure_cauchy_orig", 9, 3, 0},
+		{"isa_reed_sol_van", 6, 3, 0},
+		{"clay", 9, 3, 11},
+		{"clay", 4, 2, 5},
+		{"clay", 8, 3, 10}, // shortened (q does not divide n)
+		{"lrc", 8, 2, 2},
+		{"lrc", 12, 2, 3},
+		{"shec", 10, 6, 3},
+		{"shec", 6, 4, 2},
+	}
+	for _, tc := range cases {
+		code, err := erasure.New(tc.plugin, tc.k, tc.m, tc.d)
+		if err != nil {
+			t.Fatalf("%s(k=%d,m=%d,d=%d): %v", tc.plugin, tc.k, tc.m, tc.d, err)
+		}
+		t.Run(Describe(code), func(t *testing.T) {
+			Run(t, code, Options{Seed: int64(tc.k*100 + tc.m)})
+		})
+	}
+}
+
+// TestRegistryComplete pins the plugin list against Table 1.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"clay", "isa_reed_sol_van", "jerasure_cauchy_orig", "jerasure_reed_sol_van", "lrc", "shec"}
+	got := erasure.Plugins()
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("plugin %q missing from registry %v", w, got)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package erasure_test
+
+import (
+	"fmt"
+
+	"repro/internal/erasure"
+
+	_ "repro/internal/erasure/clay"
+	_ "repro/internal/erasure/reedsolomon"
+)
+
+// Instantiating the paper's two codes from the plugin registry and
+// comparing their single-failure repair plans.
+func ExampleNew() {
+	rs, _ := erasure.New("jerasure_reed_sol_van", 9, 3, 0)
+	clay, _ := erasure.New("clay", 9, 3, 11)
+
+	rsPlan, _ := rs.RepairPlan([]int{0})
+	clayPlan, _ := clay.RepairPlan([]int{0})
+
+	fmt.Printf("RS(12,9):      %d helpers, %.2f chunks read\n", len(rsPlan.Helpers), rsPlan.ReadFraction())
+	fmt.Printf("Clay(12,9,11): %d helpers, %.2f chunks read\n", len(clayPlan.Helpers), clayPlan.ReadFraction())
+	// Output:
+	// RS(12,9):      9 helpers, 9.00 chunks read
+	// Clay(12,9,11): 11 helpers, 3.67 chunks read
+}
+
+// Encoding, losing the maximum tolerable chunks, and decoding.
+func ExampleCode() {
+	code, _ := erasure.New("jerasure_reed_sol_van", 4, 2, 0)
+	shards := make([][]byte, code.N())
+	for i := 0; i < code.K(); i++ {
+		shards[i] = []byte{byte(i), byte(i * 2)}
+	}
+	_ = code.Encode(shards)
+	shards[1], shards[4] = nil, nil // lose one data and one parity chunk
+	_ = code.Decode(shards)
+	fmt.Println(shards[1])
+	// Output:
+	// [1 2]
+}

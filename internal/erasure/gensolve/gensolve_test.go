@@ -1,0 +1,127 @@
+package gensolve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gfmat"
+)
+
+// rsGen builds an MDS systematic generator for testing.
+func rsGen(n, k int) *gfmat.Matrix { return gfmat.Cauchy(n, k) }
+
+func TestSolverRecoversMDS(t *testing.T) {
+	gen := rsGen(8, 5)
+	cache := NewCache(gen)
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 5)
+	for i := range data {
+		data[i] = make([]byte, 32)
+		rng.Read(data[i])
+	}
+	// Encode all 8 shards.
+	shards := make([][]byte, 8)
+	for i := 0; i < 8; i++ {
+		shards[i] = make([]byte, 32)
+		row := gen.Row(i)
+		for j := 0; j < 5; j++ {
+			for b := 0; b < 32; b++ {
+				shards[i][b] ^= mulByte(row[j], data[j][b])
+			}
+		}
+	}
+	orig := make([][]byte, 8)
+	for i := range shards {
+		orig[i] = append([]byte(nil), shards[i]...)
+	}
+	erased := make([]bool, 8)
+	erased[1], erased[4], erased[7] = true, true, true
+	sol, err := cache.Solver(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[1], shards[4], shards[7] = nil, nil, nil
+	sol.Apply(shards, 32)
+	for _, i := range []int{1, 4, 7} {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("shard %d wrong", i)
+		}
+	}
+}
+
+func mulByte(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a&0x80 != 0
+		a <<= 1
+		if hi {
+			a ^= 0x1d
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func TestUndecodablePattern(t *testing.T) {
+	// A degenerate generator: two identical parity rows.
+	gen := gfmat.New(4, 2)
+	gen.Set(0, 0, 1)
+	gen.Set(1, 1, 1)
+	gen.Set(2, 0, 1)
+	gen.Set(2, 1, 1)
+	gen.Set(3, 0, 1)
+	gen.Set(3, 1, 1) // duplicate of row 2
+	cache := NewCache(gen)
+	// Losing both data shards leaves two dependent rows.
+	if _, err := cache.Solver([]bool{true, true, false, false}); !errors.Is(err, ErrUndecodable) {
+		t.Fatalf("got %v", err)
+	}
+	if cache.CanRecover([]bool{true, true, false, false}) {
+		t.Fatal("CanRecover should be false")
+	}
+	// Losing one data shard is fine.
+	if !cache.CanRecover([]bool{true, false, false, false}) {
+		t.Fatal("single loss should recover")
+	}
+}
+
+func TestSolverCacheReuse(t *testing.T) {
+	cache := NewCache(rsGen(6, 4))
+	erased := []bool{false, true, false, false, false, false}
+	a, err := cache.Solver(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Solver(erased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("solver not memoized")
+	}
+}
+
+func TestSolverMaskLengthValidation(t *testing.T) {
+	cache := NewCache(rsGen(6, 4))
+	if _, err := cache.Solver([]bool{true}); err == nil {
+		t.Fatal("short mask accepted")
+	}
+}
+
+func TestIndependentRowsSelection(t *testing.T) {
+	gen := rsGen(8, 5)
+	basis, chosen := IndependentRows(gen, []int{0, 1, 2, 3, 4}, 5)
+	if basis == nil || len(chosen) != 5 {
+		t.Fatal("identity-prefix rows must be independent")
+	}
+	// Candidates with duplicates of the same row can't reach rank 5.
+	_, chosen = IndependentRows(gen, []int{0, 0, 0, 0, 0}, 5)
+	if len(chosen) != 1 {
+		t.Fatalf("chose %d rows from duplicates", len(chosen))
+	}
+}

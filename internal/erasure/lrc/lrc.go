@@ -1,0 +1,322 @@
+// Package lrc implements Locally Repairable Codes in the layered style of
+// Azure-LRC and Ceph's "lrc" plugin: k data chunks are partitioned into l
+// local groups, each protected by one XOR local parity, plus g global
+// Reed-Solomon parities over all data.
+//
+// The headline property (Gopalan et al., Huang et al.): a single chunk
+// failure repairs by reading only its local group — k/l chunks instead of
+// Reed-Solomon's k — trading extra storage (l+g parities) for repair I/O.
+// Unlike MDS codes, not every pattern of l+g erasures is decodable;
+// CanRecover reports decodability per pattern and the fault-injection
+// guard consults it.
+package lrc
+
+import (
+	"fmt"
+
+	"repro/internal/erasure"
+	"repro/internal/erasure/gensolve"
+	"repro/internal/gf256"
+	"repro/internal/gfmat"
+)
+
+// LRC is an LRC(k, l, g) code instance. Chunk order: k data, then l local
+// parities (one per group), then g global parities. Safe for concurrent
+// use.
+type LRC struct {
+	k, l, g   int
+	groupSize int
+	gen       *gfmat.Matrix // n x k generator
+
+	solvers *gensolve.Cache
+}
+
+// New constructs an LRC with k data chunks in l local groups (l must
+// divide k) and g global parities.
+func New(k, l, g int) (*LRC, error) {
+	if k <= 0 || l <= 0 || g <= 0 {
+		return nil, fmt.Errorf("lrc: k, l, g must be positive (k=%d l=%d g=%d)", k, l, g)
+	}
+	if k%l != 0 {
+		return nil, fmt.Errorf("lrc: locality l=%d must divide k=%d", l, k)
+	}
+	n := k + l + g
+	if n > 256 {
+		return nil, fmt.Errorf("lrc: n=%d exceeds GF(2^8) limit", n)
+	}
+	gen := gfmat.New(n, k)
+	for i := 0; i < k; i++ {
+		gen.Set(i, i, 1)
+	}
+	groupSize := k / l
+	for grp := 0; grp < l; grp++ {
+		row := k + grp
+		for j := grp * groupSize; j < (grp+1)*groupSize; j++ {
+			gen.Set(row, j, 1) // XOR local parity
+		}
+	}
+	// Global parities: Cauchy rows, guaranteed jointly independent with
+	// any data subset.
+	for gi := 0; gi < g; gi++ {
+		row := k + l + gi
+		x := byte(k + gi)
+		for j := 0; j < k; j++ {
+			gen.Set(row, j, gf256.Inv(x^byte(j)^0x80))
+		}
+	}
+	return &LRC{k: k, l: l, g: g, groupSize: groupSize, gen: gen, solvers: gensolve.NewCache(gen)}, nil
+}
+
+func init() {
+	// Registry signature is (k, m, d); for LRC, m is the global parity
+	// count and d carries the locality l (Ceph's lrc plugin similarly
+	// takes k/m/l). d == 0 defaults to 2 groups.
+	erasure.Register("lrc", func(k, m, d int) (erasure.Code, error) {
+		l := d
+		if l == 0 {
+			l = 2
+		}
+		return New(k, l, m)
+	})
+}
+
+// Name implements erasure.Code.
+func (c *LRC) Name() string { return "lrc" }
+
+// K implements erasure.Code.
+func (c *LRC) K() int { return c.k }
+
+// M implements erasure.Code: the total parity count. Note that unlike MDS
+// codes not every pattern of M erasures is decodable; see CanRecover.
+func (c *LRC) M() int { return c.l + c.g }
+
+// N implements erasure.Code.
+func (c *LRC) N() int { return c.k + c.l + c.g }
+
+// SubChunks implements erasure.Code.
+func (c *LRC) SubChunks() int { return 1 }
+
+// Groups returns the number of local groups.
+func (c *LRC) Groups() int { return c.l }
+
+// GlobalParities returns the number of global parities.
+func (c *LRC) GlobalParities() int { return c.g }
+
+// groupOf returns the local group of a chunk, or -1 for global parities.
+func (c *LRC) groupOf(chunk int) int {
+	switch {
+	case chunk < c.k:
+		return chunk / c.groupSize
+	case chunk < c.k+c.l:
+		return chunk - c.k
+	default:
+		return -1
+	}
+}
+
+// groupMembers returns the chunk indices of a group: its data chunks plus
+// the local parity.
+func (c *LRC) groupMembers(grp int) []int {
+	out := make([]int, 0, c.groupSize+1)
+	for j := grp * c.groupSize; j < (grp+1)*c.groupSize; j++ {
+		out = append(out, j)
+	}
+	return append(out, c.k+grp)
+}
+
+// Encode implements erasure.Code.
+func (c *LRC) Encode(shards [][]byte) error {
+	n := c.N()
+	if len(shards) != n {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), n)
+	}
+	size := -1
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			return fmt.Errorf("%w: data shard %d is nil", erasure.ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(shards[i])
+		} else if len(shards[i]) != size {
+			return fmt.Errorf("%w: shard %d", erasure.ErrShardSize, i)
+		}
+	}
+	for i := c.k; i < n; i++ {
+		if shards[i] == nil || len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := c.gen.Row(i)
+		for j := 0; j < c.k; j++ {
+			gf256.MulAddSlice(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+// CanRecover reports whether the erasure pattern is decodable.
+func (c *LRC) CanRecover(failed []int) bool {
+	erased := make([]bool, c.N())
+	for _, f := range failed {
+		if f < 0 || f >= c.N() {
+			return false
+		}
+		erased[f] = true
+	}
+	return c.solvers.CanRecover(erased)
+}
+
+// Decode implements erasure.Code.
+func (c *LRC) Decode(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, c.N(), 1)
+	if err != nil {
+		return err
+	}
+	erased := make([]bool, c.N())
+	any := false
+	for i, s := range shards {
+		if s == nil {
+			erased[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	sol, err := c.solvers.Solver(erased)
+	if err != nil {
+		return fmt.Errorf("%w: %v", erasure.ErrTooManyErasures, err)
+	}
+	sol.Apply(shards, size)
+	return nil
+}
+
+// RepairPlan implements erasure.Code. Single failures within a group read
+// only that group (the locality win); other patterns fall back to the
+// full decode's input set.
+func (c *LRC) RepairPlan(failed []int) (*erasure.Plan, error) {
+	if len(failed) == 0 {
+		return &erasure.Plan{SubChunkTotal: 1}, nil
+	}
+	erased := make([]bool, c.N())
+	for _, f := range failed {
+		if f < 0 || f >= c.N() {
+			return nil, fmt.Errorf("lrc: invalid shard index %d", f)
+		}
+		erased[f] = true
+	}
+	plan := &erasure.Plan{Failed: append([]int(nil), failed...), SubChunkTotal: 1}
+	if len(failed) == 1 {
+		if grp := c.groupOf(failed[0]); grp >= 0 {
+			for _, m := range c.groupMembers(grp) {
+				if m != failed[0] {
+					plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(m, []int{0}))
+				}
+			}
+			return plan, nil
+		}
+		// A global parity rebuilds from all data chunks.
+		for j := 0; j < c.k; j++ {
+			plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(j, []int{0}))
+		}
+		return plan, nil
+	}
+	// Multiple failures in distinct groups, one each: per-group local
+	// repairs.
+	if c.allSinglePerGroup(failed) {
+		seen := map[int]bool{}
+		for _, f := range failed {
+			for _, m := range c.groupMembers(c.groupOf(f)) {
+				if !erased[m] && !seen[m] {
+					seen[m] = true
+					plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(m, []int{0}))
+				}
+			}
+		}
+		return plan, nil
+	}
+	sol, err := c.solvers.Solver(erased)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", erasure.ErrTooManyErasures, err)
+	}
+	for _, in := range sol.Inputs {
+		plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(in, []int{0}))
+	}
+	return plan, nil
+}
+
+// allSinglePerGroup reports whether every failure is in a distinct local
+// group (and none is a global parity).
+func (c *LRC) allSinglePerGroup(failed []int) bool {
+	seen := map[int]bool{}
+	for _, f := range failed {
+		grp := c.groupOf(f)
+		if grp < 0 || seen[grp] {
+			return false
+		}
+		seen[grp] = true
+	}
+	return true
+}
+
+// Repair implements erasure.Code, reading only the shards the plan lists.
+func (c *LRC) Repair(shards [][]byte, failed []int) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	plan, err := c.RepairPlan(failed)
+	if err != nil {
+		return err
+	}
+	lost := map[int]bool{}
+	for _, f := range failed {
+		lost[f] = true
+	}
+	// Local repairs: reconstruct each failed chunk by XOR-solving within
+	// its group when the plan is group-local.
+	if len(failed) == 1 || c.allSinglePerGroup(failed) {
+		size := -1
+		for _, h := range plan.Helpers {
+			if shards[h.Shard] == nil {
+				return fmt.Errorf("lrc: helper shard %d is nil", h.Shard)
+			}
+			if size == -1 {
+				size = len(shards[h.Shard])
+			}
+		}
+		for _, f := range failed {
+			grp := c.groupOf(f)
+			if grp < 0 {
+				// Global parity: re-encode from data.
+				buf := make([]byte, size)
+				row := c.gen.Row(f)
+				for j := 0; j < c.k; j++ {
+					gf256.MulAddSlice(row[j], shards[j], buf)
+				}
+				shards[f] = buf
+				continue
+			}
+			buf := make([]byte, size)
+			for _, m := range c.groupMembers(grp) {
+				if m != f {
+					gf256.XorSlice(shards[m], buf)
+				}
+			}
+			shards[f] = buf
+		}
+		return nil
+	}
+	// General pattern: decode over the plan's inputs only.
+	work := make([][]byte, c.N())
+	for _, h := range plan.Helpers {
+		work[h.Shard] = shards[h.Shard]
+	}
+	if err := c.Decode(work); err != nil {
+		return err
+	}
+	for _, f := range failed {
+		shards[f] = work[f]
+	}
+	return nil
+}

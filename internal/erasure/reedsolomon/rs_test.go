@@ -1,0 +1,282 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/erasure"
+)
+
+func newRS(t *testing.T, k, m int, tech Technique) *RS {
+	t.Helper()
+	r, err := New(k, m, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func encodeRandom(t *testing.T, r *RS, size int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([][]byte, r.N())
+	for i := 0; i < r.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := r.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+func clone(s [][]byte) [][]byte {
+	out := make([][]byte, len(s))
+	for i, v := range s {
+		if v != nil {
+			out[i] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3, Vandermonde); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(200, 100, Vandermonde); err == nil {
+		t.Fatal("n>256 accepted")
+	}
+}
+
+func TestEncodeDecodeBothTechniques(t *testing.T) {
+	for _, tech := range []Technique{Vandermonde, Cauchy} {
+		r := newRS(t, 9, 3, tech)
+		orig := encodeRandom(t, r, 1024, 7)
+		for a := 0; a < r.N(); a++ {
+			for b := a + 1; b < r.N(); b++ {
+				for c := b + 1; c < r.N(); c++ {
+					work := clone(orig)
+					work[a], work[b], work[c] = nil, nil, nil
+					if err := r.Decode(work); err != nil {
+						t.Fatalf("%v decode (%d,%d,%d): %v", tech, a, b, c, err)
+					}
+					for _, i := range []int{a, b, c} {
+						if !bytes.Equal(work[i], orig[i]) {
+							t.Fatalf("%v shard %d wrong after (%d,%d,%d)", tech, i, a, b, c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	r := newRS(t, 4, 2, Vandermonde)
+	orig := encodeRandom(t, r, 64, 3)
+	// Data shards must pass through unchanged (systematic property).
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < r.K(); i++ {
+		want := make([]byte, 64)
+		rng.Read(want)
+		if !bytes.Equal(orig[i], want) {
+			t.Fatal("encode modified a data shard")
+		}
+	}
+}
+
+func TestDecodeNoErasuresIsNoop(t *testing.T) {
+	r := newRS(t, 3, 2, Cauchy)
+	orig := encodeRandom(t, r, 32, 5)
+	work := clone(orig)
+	if err := r.Decode(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range work {
+		if !bytes.Equal(work[i], orig[i]) {
+			t.Fatal("no-op decode changed shards")
+		}
+	}
+}
+
+func TestTooManyErasures(t *testing.T) {
+	r := newRS(t, 3, 2, Vandermonde)
+	orig := encodeRandom(t, r, 16, 1)
+	work := clone(orig)
+	work[0], work[1], work[2] = nil, nil, nil
+	if err := r.Decode(work); err == nil {
+		t.Fatal("expected too-many-erasures error")
+	}
+}
+
+func TestRepairPlanReadsKChunks(t *testing.T) {
+	r := newRS(t, 9, 3, Vandermonde)
+	plan, err := r.RepairPlan([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Helpers) != 9 {
+		t.Fatalf("helpers = %d, want k=9", len(plan.Helpers))
+	}
+	if plan.ReadFraction() != 9 {
+		t.Fatalf("read fraction %.2f, want 9", plan.ReadFraction())
+	}
+	for _, h := range plan.Helpers {
+		if h.Shard == 2 {
+			t.Fatal("plan reads the failed shard")
+		}
+		if h.Runs != 1 || len(h.SubChunks) != 1 {
+			t.Fatal("RS helper reads must be one whole chunk")
+		}
+	}
+}
+
+func TestRepairUsesOnlyPlannedHelpers(t *testing.T) {
+	r := newRS(t, 6, 3, Cauchy)
+	orig := encodeRandom(t, r, 128, 9)
+	plan, err := r.RepairPlan([]int{1, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := map[int]bool{}
+	for _, h := range plan.Helpers {
+		planned[h.Shard] = true
+	}
+	work := clone(orig)
+	work[1], work[7] = nil, nil
+	for i := range work {
+		if i == 1 || i == 7 || planned[i] {
+			continue
+		}
+		for b := range work[i] {
+			work[i][b] = 0xEE // poison unplanned helpers
+		}
+	}
+	if err := r.Repair(work, []int{1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[1], orig[1]) || !bytes.Equal(work[7], orig[7]) {
+		t.Fatal("repair consulted shards outside its plan")
+	}
+}
+
+func TestRepairPlanErrors(t *testing.T) {
+	r := newRS(t, 3, 2, Vandermonde)
+	if _, err := r.RepairPlan([]int{0, 1, 2}); err == nil {
+		t.Fatal("3 failures on m=2 accepted")
+	}
+	if _, err := r.RepairPlan([]int{9}); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	r := newRS(t, 5, 3, Vandermonde)
+	f := func(seed int64, sizeRaw uint8, lossRaw uint8) bool {
+		size := 1 + int(sizeRaw)
+		rng := rand.New(rand.NewSource(seed))
+		shards := make([][]byte, r.N())
+		for i := 0; i < r.K(); i++ {
+			shards[i] = make([]byte, size)
+			rng.Read(shards[i])
+		}
+		if err := r.Encode(shards); err != nil {
+			return false
+		}
+		orig := clone(shards)
+		nLost := 1 + int(lossRaw)%r.M()
+		for _, i := range rng.Perm(r.N())[:nLost] {
+			shards[i] = nil
+		}
+		if err := r.Decode(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	for _, name := range []string{"jerasure_reed_sol_van", "jerasure_cauchy_orig", "isa_reed_sol_van"} {
+		code, err := erasure.New(name, 9, 3, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if code.K() != 9 || code.M() != 3 || code.SubChunks() != 1 {
+			t.Fatalf("%s geometry wrong", name)
+		}
+	}
+	if _, err := erasure.New("nonsense", 9, 3, 0); err == nil {
+		t.Fatal("unknown plugin accepted")
+	}
+}
+
+func TestDecodeMatrixCacheConcurrency(t *testing.T) {
+	r := newRS(t, 6, 3, Vandermonde)
+	orig := encodeRandom(t, r, 256, 17)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			work := clone(orig)
+			work[g%r.N()] = nil
+			done <- r.Decode(work)
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSEncode12_9(b *testing.B) {
+	r, _ := New(9, 3, Vandermonde)
+	size := 64 * 1024
+	shards := make([][]byte, r.N())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < r.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	b.SetBytes(int64(size * r.K()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSDecode12_9(b *testing.B) {
+	r, _ := New(9, 3, Vandermonde)
+	size := 64 * 1024
+	shards := make([][]byte, r.N())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < r.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	if err := r.Encode(shards); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([][]byte, len(shards))
+		copy(work, shards)
+		work[0] = nil
+		if err := r.Decode(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

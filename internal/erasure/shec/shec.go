@@ -1,0 +1,300 @@
+// Package shec implements a Shingled Erasure Code in the style of Ceph's
+// "shec" plugin (Miyamae et al.): SHEC(k, m, c) computes m parities, each
+// over a sliding ("shingled") window of the k data chunks, sized so that
+// any c concurrent failures remain recoverable while single-failure
+// repair reads only a window of roughly k*c/m chunks instead of k.
+//
+// SHEC trades a little durability certainty for recovery efficiency: some
+// erasure patterns wider than c are unrecoverable even though m chunks
+// are redundant. CanRecover answers pattern decodability exactly (by
+// generator rank), and the ECFault white-box guard consults it.
+package shec
+
+import (
+	"fmt"
+
+	"repro/internal/erasure"
+	"repro/internal/erasure/gensolve"
+	"repro/internal/gf256"
+	"repro/internal/gfmat"
+)
+
+// SHEC is a SHEC(k, m, c) instance. Chunk order: k data then m parities.
+// Safe for concurrent use.
+type SHEC struct {
+	k, m, c int
+	window  int
+	starts  []int // window start (data index) per parity
+	gen     *gfmat.Matrix
+
+	solvers *gensolve.Cache
+}
+
+// New constructs SHEC(k, m, c): m shingled parities with target
+// durability c (1 <= c <= m <= k).
+func New(k, m, c int) (*SHEC, error) {
+	if k <= 0 || m <= 0 || c <= 0 {
+		return nil, fmt.Errorf("shec: k, m, c must be positive (k=%d m=%d c=%d)", k, m, c)
+	}
+	if c > m {
+		return nil, fmt.Errorf("shec: c=%d cannot exceed m=%d", c, m)
+	}
+	if m > k {
+		return nil, fmt.Errorf("shec: m=%d cannot exceed k=%d", m, k)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("shec: n=%d exceeds GF(2^8) limit", k+m)
+	}
+	// Window width w = ceil(k*c/m); parity j starts at floor(j*k/m) and
+	// wraps around the data chunks.
+	w := (k*c + m - 1) / m
+	if w > k {
+		w = k
+	}
+	s := &SHEC{k: k, m: m, c: c, window: w}
+	gen := gfmat.New(k+m, k)
+	for i := 0; i < k; i++ {
+		gen.Set(i, i, 1)
+	}
+	for j := 0; j < m; j++ {
+		start := j * k / m
+		s.starts = append(s.starts, start)
+		row := k + j
+		for o := 0; o < w; o++ {
+			col := (start + o) % k
+			// Cauchy-style coefficients keep overlapping windows jointly
+			// independent where possible.
+			gen.Set(row, col, gf256.Inv(byte(k+j)^byte(col)^0x80))
+		}
+	}
+	s.gen = gen
+	s.solvers = gensolve.NewCache(gen)
+	return s, nil
+}
+
+func init() {
+	// Registry signature (k, m, d): d carries the durability target c,
+	// defaulting to ceil(m/2) as Ceph's shec examples commonly use.
+	erasure.Register("shec", func(k, m, d int) (erasure.Code, error) {
+		c := d
+		if c == 0 {
+			c = (m + 1) / 2
+		}
+		return New(k, m, c)
+	})
+}
+
+// Name implements erasure.Code.
+func (s *SHEC) Name() string { return "shec" }
+
+// K implements erasure.Code.
+func (s *SHEC) K() int { return s.k }
+
+// M implements erasure.Code. Patterns of up to C failures are always
+// recoverable; wider patterns may or may not be (see CanRecover).
+func (s *SHEC) M() int { return s.m }
+
+// N implements erasure.Code.
+func (s *SHEC) N() int { return s.k + s.m }
+
+// C is the designed durability (guaranteed recoverable failures).
+func (s *SHEC) C() int { return s.c }
+
+// Window is the data-chunk span of each parity.
+func (s *SHEC) Window() int { return s.window }
+
+// SubChunks implements erasure.Code.
+func (s *SHEC) SubChunks() int { return 1 }
+
+// coveredBy lists the parities whose window contains data chunk d.
+func (s *SHEC) coveredBy(d int) []int {
+	var out []int
+	for j, start := range s.starts {
+		for o := 0; o < s.window; o++ {
+			if (start+o)%s.k == d {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// windowMembers returns the data chunks covered by parity j.
+func (s *SHEC) windowMembers(j int) []int {
+	out := make([]int, 0, s.window)
+	for o := 0; o < s.window; o++ {
+		out = append(out, (s.starts[j]+o)%s.k)
+	}
+	return out
+}
+
+// Encode implements erasure.Code.
+func (s *SHEC) Encode(shards [][]byte) error {
+	n := s.N()
+	if len(shards) != n {
+		return fmt.Errorf("%w: got %d, want %d", erasure.ErrShardCount, len(shards), n)
+	}
+	size := -1
+	for i := 0; i < s.k; i++ {
+		if shards[i] == nil {
+			return fmt.Errorf("%w: data shard %d is nil", erasure.ErrShardSize, i)
+		}
+		if size == -1 {
+			size = len(shards[i])
+		} else if len(shards[i]) != size {
+			return fmt.Errorf("%w: shard %d", erasure.ErrShardSize, i)
+		}
+	}
+	for i := s.k; i < n; i++ {
+		if shards[i] == nil || len(shards[i]) != size {
+			shards[i] = make([]byte, size)
+		} else {
+			clear(shards[i])
+		}
+		row := s.gen.Row(i)
+		for j := 0; j < s.k; j++ {
+			gf256.MulAddSlice(row[j], shards[j], shards[i])
+		}
+	}
+	return nil
+}
+
+// CanRecover reports whether the erasure pattern is decodable.
+func (s *SHEC) CanRecover(failed []int) bool {
+	erased := make([]bool, s.N())
+	for _, f := range failed {
+		if f < 0 || f >= s.N() {
+			return false
+		}
+		erased[f] = true
+	}
+	return s.solvers.CanRecover(erased)
+}
+
+// Decode implements erasure.Code.
+func (s *SHEC) Decode(shards [][]byte) error {
+	size, err := erasure.CheckShards(shards, s.N(), 1)
+	if err != nil {
+		return err
+	}
+	erased := make([]bool, s.N())
+	any := false
+	for i, sh := range shards {
+		if sh == nil {
+			erased[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	sol, err := s.solvers.Solver(erased)
+	if err != nil {
+		return fmt.Errorf("%w: %v", erasure.ErrTooManyErasures, err)
+	}
+	sol.Apply(shards, size)
+	return nil
+}
+
+// RepairPlan implements erasure.Code. A single data failure reads one
+// covering parity's window (window-1 data chunks plus the parity, fewer
+// than Reed-Solomon's k); other patterns use the decode input set.
+func (s *SHEC) RepairPlan(failed []int) (*erasure.Plan, error) {
+	if len(failed) == 0 {
+		return &erasure.Plan{SubChunkTotal: 1}, nil
+	}
+	erased := make([]bool, s.N())
+	for _, f := range failed {
+		if f < 0 || f >= s.N() {
+			return nil, fmt.Errorf("shec: invalid shard index %d", f)
+		}
+		erased[f] = true
+	}
+	plan := &erasure.Plan{Failed: append([]int(nil), failed...), SubChunkTotal: 1}
+	if len(failed) == 1 && failed[0] < s.k {
+		if cover := s.coveredBy(failed[0]); len(cover) > 0 {
+			j := cover[0]
+			for _, d := range s.windowMembers(j) {
+				if d != failed[0] {
+					plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(d, []int{0}))
+				}
+			}
+			plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(s.k+j, []int{0}))
+			return plan, nil
+		}
+	}
+	if len(failed) == 1 && failed[0] >= s.k {
+		// A parity rebuilds from its own window.
+		for _, d := range s.windowMembers(failed[0] - s.k) {
+			plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(d, []int{0}))
+		}
+		return plan, nil
+	}
+	sol, err := s.solvers.Solver(erased)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", erasure.ErrTooManyErasures, err)
+	}
+	for _, in := range sol.Inputs {
+		plan.Helpers = append(plan.Helpers, erasure.NewHelperRead(in, []int{0}))
+	}
+	return plan, nil
+}
+
+// Repair implements erasure.Code, reading only the plan's shards.
+func (s *SHEC) Repair(shards [][]byte, failed []int) error {
+	if len(failed) == 0 {
+		return nil
+	}
+	plan, err := s.RepairPlan(failed)
+	if err != nil {
+		return err
+	}
+	size := -1
+	for _, h := range plan.Helpers {
+		if shards[h.Shard] == nil {
+			return fmt.Errorf("shec: helper shard %d is nil", h.Shard)
+		}
+		if size == -1 {
+			size = len(shards[h.Shard])
+		}
+	}
+	if len(failed) == 1 {
+		f := failed[0]
+		if f >= s.k {
+			// Re-encode the parity from its window.
+			buf := make([]byte, size)
+			row := s.gen.Row(f)
+			for _, d := range s.windowMembers(f - s.k) {
+				gf256.MulAddSlice(row[d], shards[d], buf)
+			}
+			shards[f] = buf
+			return nil
+		}
+		if cover := s.coveredBy(f); len(cover) > 0 {
+			// Solve the covering parity's equation for the lost chunk.
+			j := cover[0]
+			row := s.gen.Row(s.k + j)
+			buf := append([]byte(nil), shards[s.k+j]...)
+			for _, d := range s.windowMembers(j) {
+				if d != f {
+					gf256.MulAddSlice(row[d], shards[d], buf)
+				}
+			}
+			gf256.MulSlice(gf256.Inv(row[f]), buf, buf)
+			shards[f] = buf
+			return nil
+		}
+	}
+	work := make([][]byte, s.N())
+	for _, h := range plan.Helpers {
+		work[h.Shard] = shards[h.Shard]
+	}
+	if err := s.Decode(work); err != nil {
+		return err
+	}
+	for _, f := range failed {
+		shards[f] = work[f]
+	}
+	return nil
+}

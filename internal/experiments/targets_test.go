@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTargetsComplete(t *testing.T) {
+	targets := Targets()
+	wantBars := map[string]int{"fig2a": 6, "fig2b": 6, "fig2c": 6, "fig2d": 8}
+	for fig, n := range wantBars {
+		if len(targets.Figures[fig]) != n {
+			t.Errorf("%s has %d target bars, want %d", fig, len(targets.Figures[fig]), n)
+		}
+	}
+	if targets.Fig3CheckingFraction != 0.537 {
+		t.Error("fig3 target wrong")
+	}
+	if targets.Table3["RS(12,9)"][0] != 1.76 || targets.Table3["RS(15,12)"][1] != 0.720 {
+		t.Error("table3 targets wrong")
+	}
+}
+
+func TestCompareFigureMechanics(t *testing.T) {
+	fig := &Figure{
+		ID:       "fig2c",
+		Baseline: time.Second,
+		Cells: []Cell{
+			{Config: "4KB", Values: map[string]float64{"RS(12,9)": 1.0, "Clay(12,9,11)": 4.0}},
+			{Config: "unpublished", Values: map[string]float64{"RS(12,9)": 2.0}},
+		},
+	}
+	deltas := CompareFigure(fig)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (unpublished bars skipped)", len(deltas))
+	}
+	var clay Delta
+	for _, d := range deltas {
+		if d.Key == "4KB/Clay(12,9,11)" {
+			clay = d
+		}
+	}
+	if math.Abs(clay.AbsErr()-0.26) > 1e-9 {
+		t.Fatalf("clay abs err = %f", clay.AbsErr())
+	}
+	if math.Abs(clay.RelErr()-0.26/4.26) > 1e-9 {
+		t.Fatalf("clay rel err = %f", clay.RelErr())
+	}
+	if mae := MeanAbsErr(deltas); mae <= 0 || mae > 0.3 {
+		t.Fatalf("mean abs err = %f", mae)
+	}
+	if MeanAbsErr(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+// TestReproductionAccuracy runs the two cheapest artifacts and bounds the
+// deviation from the paper: Table 3 within a point, Figure 2c bars within
+// a mean absolute error of 0.6 normalized units at test scale.
+func TestReproductionAccuracy(t *testing.T) {
+	rows, err := Table3WriteAmplification(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := Targets().Table3
+	for _, r := range rows {
+		label := "RS(12,9)"
+		if r.Report.K == 12 {
+			label = "RS(15,12)"
+		}
+		want := targets[label][0]
+		if math.Abs(r.Report.Measured-want) > 0.05 {
+			t.Fatalf("%s WA %.3f vs paper %.2f", label, r.Report.Measured, want)
+		}
+	}
+	fig, err := Fig2cStripeUnit(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae := MeanAbsErr(CompareFigure(fig)); mae > 0.6 {
+		t.Fatalf("fig2c mean abs err %.2f exceeds bound", mae)
+	}
+}

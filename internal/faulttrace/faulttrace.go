@@ -1,0 +1,131 @@
+// Package faulttrace generates multi-round fault schedules from the
+// statistical failure models reported in the storage-reliability
+// literature the paper's methodology cites (§3.2): device failures as a
+// Poisson process driven by an annualized failure rate, a share of
+// whole-node failures, and a background rate of latent silent corruption.
+// The output plugs directly into core.RunSchedule.
+package faulttrace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Model parameterizes the failure process.
+type Model struct {
+	// Devices is the fleet size (OSD count).
+	Devices int
+	// DeviceAFR is the annualized failure rate per device (e.g. 0.02).
+	DeviceAFR float64
+	// NodeFailureShare is the fraction of failure events that take a
+	// whole node instead of one device (correlated failures: PSU, kernel,
+	// top-of-rack).
+	NodeFailureShare float64
+	// CorruptionPerYear is the expected number of latent-corruption
+	// events per year across the fleet; each corrupts a handful of
+	// chunks and is caught by scrubbing.
+	CorruptionPerYear float64
+	// HorizonDays is the simulated observation window.
+	HorizonDays float64
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.Devices <= 0 {
+		return fmt.Errorf("faulttrace: need a positive device count")
+	}
+	if m.DeviceAFR <= 0 || m.DeviceAFR >= 1 {
+		return fmt.Errorf("faulttrace: AFR must be in (0,1)")
+	}
+	if m.NodeFailureShare < 0 || m.NodeFailureShare > 1 {
+		return fmt.Errorf("faulttrace: node share must be in [0,1]")
+	}
+	if m.HorizonDays <= 0 {
+		return fmt.Errorf("faulttrace: need a positive horizon")
+	}
+	if m.CorruptionPerYear < 0 {
+		return fmt.Errorf("faulttrace: corruption rate must be >= 0")
+	}
+	return nil
+}
+
+// Event is one generated fault with its absolute offset in days.
+type Event struct {
+	AtDays float64
+	Spec   core.FaultSpec
+}
+
+// Generate produces the failure events within the horizon, time-ordered.
+// Inter-arrival times are exponential with the fleet-wide rate
+// Devices * AFR (plus the corruption rate), the memoryless model behind
+// MTTDL analyses.
+func Generate(m Model) ([]Event, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	const daysPerYear = 365.25
+	failPerDay := float64(m.Devices) * m.DeviceAFR / daysPerYear
+	corrPerDay := m.CorruptionPerYear / daysPerYear
+
+	var events []Event
+	// Availability failures.
+	for t := expStep(rng, failPerDay); t < m.HorizonDays; t += expStep(rng, failPerDay) {
+		spec := core.FaultSpec{Level: core.FaultLevelDevice, Count: 1, AtSeconds: 1}
+		if rng.Float64() < m.NodeFailureShare {
+			spec.Level = core.FaultLevelNode
+		}
+		events = append(events, Event{AtDays: t, Spec: spec})
+	}
+	// Latent corruption.
+	if corrPerDay > 0 {
+		for t := expStep(rng, corrPerDay); t < m.HorizonDays; t += expStep(rng, corrPerDay) {
+			events = append(events, Event{AtDays: t, Spec: core.FaultSpec{
+				Level: core.FaultLevelCorruption, Count: 1 + rng.Intn(4), AtSeconds: 1,
+			}})
+		}
+	}
+	sortEvents(events)
+	return events, nil
+}
+
+func expStep(rng *rand.Rand, ratePerDay float64) float64 {
+	if ratePerDay <= 0 {
+		return math.Inf(1)
+	}
+	return rng.ExpFloat64() / ratePerDay
+}
+
+func sortEvents(events []Event) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j-1].AtDays > events[j].AtDays; j-- {
+			events[j-1], events[j] = events[j], events[j-1]
+		}
+	}
+}
+
+// Schedule converts a trace into a core.Schedule. Event spacing collapses
+// to a fixed gap between recovery cycles: RunSchedule is sequential
+// (each round recovers before the next fault), so the trace's ordering
+// and composition carry over while absolute quiet time is compressed.
+func Schedule(events []Event, gapSeconds float64) core.Schedule {
+	s := core.Schedule{GapSeconds: gapSeconds}
+	for _, e := range events {
+		s.Rounds = append(s.Rounds, e.Spec)
+	}
+	return s
+}
+
+// Summary tallies a trace by fault level.
+func Summary(events []Event) map[string]int {
+	out := map[string]int{}
+	for _, e := range events {
+		out[e.Spec.Level]++
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package faulttrace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func model() Model {
+	return Model{
+		Devices:           60,
+		DeviceAFR:         0.02,
+		NodeFailureShare:  0.2,
+		CorruptionPerYear: 12,
+		HorizonDays:       365,
+		Seed:              42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Model){
+		func(m *Model) { m.Devices = 0 },
+		func(m *Model) { m.DeviceAFR = 0 },
+		func(m *Model) { m.DeviceAFR = 1 },
+		func(m *Model) { m.NodeFailureShare = -0.1 },
+		func(m *Model) { m.NodeFailureShare = 1.1 },
+		func(m *Model) { m.HorizonDays = 0 },
+		func(m *Model) { m.CorruptionPerYear = -1 },
+	}
+	for i, mutate := range bad {
+		m := model()
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(model())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].AtDays != b[i].AtDays || a[i].Spec.Level != b[i].Spec.Level || a[i].Spec.Count != b[i].Spec.Count {
+			t.Fatal("traces differ")
+		}
+	}
+}
+
+func TestGenerateRateMatchesModel(t *testing.T) {
+	// Expected availability failures over a year: 60 devices * 2% = 1.2,
+	// too noisy; use a 100-year horizon to test the rate statistically.
+	m := model()
+	m.HorizonDays = 36525
+	m.CorruptionPerYear = 0
+	events, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(m.Devices) * m.DeviceAFR * 100 // per century
+	got := float64(len(events))
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("generated %v events, model expects ~%v", got, want)
+	}
+	nodes := 0
+	for _, e := range events {
+		if e.Spec.Level == core.FaultLevelNode {
+			nodes++
+		}
+	}
+	share := float64(nodes) / got
+	if math.Abs(share-m.NodeFailureShare) > 0.1 {
+		t.Fatalf("node share %f, want ~%f", share, m.NodeFailureShare)
+	}
+}
+
+func TestGenerateOrderedAndInHorizon(t *testing.T) {
+	m := model()
+	m.HorizonDays = 3650
+	events, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events in 10 years")
+	}
+	for i, e := range events {
+		if e.AtDays < 0 || e.AtDays >= m.HorizonDays {
+			t.Fatalf("event %d outside horizon: %f", i, e.AtDays)
+		}
+		if i > 0 && events[i-1].AtDays > e.AtDays {
+			t.Fatal("events not ordered")
+		}
+	}
+	sum := Summary(events)
+	if sum[core.FaultLevelCorruption] == 0 {
+		t.Fatal("no corruption events in 10 years at 12/year")
+	}
+}
+
+func TestScheduleConversion(t *testing.T) {
+	events := []Event{
+		{AtDays: 1, Spec: core.FaultSpec{Level: core.FaultLevelDevice, Count: 1, AtSeconds: 1}},
+		{AtDays: 2, Spec: core.FaultSpec{Level: core.FaultLevelCorruption, Count: 2, AtSeconds: 1}},
+	}
+	s := Schedule(events, 30)
+	if len(s.Rounds) != 2 || s.GapSeconds != 30 {
+		t.Fatalf("schedule: %+v", s)
+	}
+}
+
+// TestTraceDrivenCampaign runs a generated trace end to end through
+// core.RunSchedule.
+func TestTraceDrivenCampaign(t *testing.T) {
+	m := model()
+	m.HorizonDays = 60
+	m.DeviceAFR = 0.2 // dense trace for the test
+	m.CorruptionPerYear = 30
+	events, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Skipf("sparse trace (%d events)", len(events))
+	}
+	if len(events) > 4 {
+		events = events[:4]
+	}
+	p := core.DefaultProfile().ScaleWorkload(200)
+	p.Cluster.Hosts = 15
+	p.Pool.PGNum = 32
+	res, err := core.RunSchedule(p, Schedule(events, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != len(events) {
+		t.Fatalf("rounds = %d, want %d", len(res.Rounds), len(events))
+	}
+}

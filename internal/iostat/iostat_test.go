@@ -1,0 +1,80 @@
+package iostat
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blockdev"
+)
+
+func TestSampleDeltas(t *testing.T) {
+	s := NewSampler()
+	dev, _ := blockdev.New("nvme0n1", 1<<20, 4096)
+	if err := s.Track("osd0", dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Track("osd0", dev); err == nil {
+		t.Fatal("duplicate track accepted")
+	}
+	_, _ = dev.WriteAt(make([]byte, 100), 0)
+	s.Sample(time.Second)
+	_, _ = dev.ReadAt(make([]byte, 40), 0)
+	s.Sample(2 * time.Second)
+
+	samples := s.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].WriteBytes != 100 || samples[0].ReadBytes != 0 {
+		t.Fatalf("sample0 = %+v", samples[0])
+	}
+	if samples[1].WriteBytes != 0 || samples[1].ReadBytes != 40 {
+		t.Fatalf("sample1 = %+v", samples[1])
+	}
+}
+
+func TestBusyWindow(t *testing.T) {
+	s := NewSampler()
+	dev, _ := blockdev.New("d", 1<<20, 4096)
+	_ = s.Track("osd0", dev)
+	_ = dev.AccountWrite(10)
+	s.Sample(time.Second)
+	_ = dev.AccountWrite(20)
+	s.Sample(2 * time.Second)
+	_ = dev.AccountRead(5)
+	s.Sample(3 * time.Second)
+
+	busy := s.Busy(2*time.Second, 3*time.Second)
+	if busy["osd0"] != 25 {
+		t.Fatalf("busy = %v", busy)
+	}
+}
+
+func TestFirstActivity(t *testing.T) {
+	s := NewSampler()
+	dev, _ := blockdev.New("d", 1<<20, 4096)
+	_ = s.Track("osd0", dev)
+	s.Sample(time.Second) // idle
+	_ = dev.AccountRead(1)
+	s.Sample(2 * time.Second)
+	ts, ok := s.FirstActivity("osd0")
+	if !ok || ts != 2*time.Second {
+		t.Fatalf("first activity = %v ok=%v", ts, ok)
+	}
+	if _, ok := s.FirstActivity("missing"); ok {
+		t.Fatal("activity for untracked device")
+	}
+}
+
+func TestMultipleDevicesSortedInSample(t *testing.T) {
+	s := NewSampler()
+	d1, _ := blockdev.New("a", 1<<20, 4096)
+	d2, _ := blockdev.New("b", 1<<20, 4096)
+	_ = s.Track("osd1", d1)
+	_ = s.Track("osd0", d2)
+	s.Sample(time.Second)
+	samples := s.Samples()
+	if len(samples) != 2 || samples[0].Device != "osd0" || samples[1].Device != "osd1" {
+		t.Fatalf("samples = %+v", samples)
+	}
+}

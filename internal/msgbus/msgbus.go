@@ -1,0 +1,182 @@
+// Package msgbus is a small publish/subscribe message broker standing in
+// for the Kafka deployment ECFault uses to ship classified log entries
+// from per-node Loggers to the Coordinator (§3.3). It supports topics with
+// multiple partitions, key-based partitioning, offset-based consumption
+// and per-group committed offsets.
+package msgbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors.
+var (
+	ErrNoTopic     = errors.New("msgbus: no such topic")
+	ErrNoPartition = errors.New("msgbus: no such partition")
+)
+
+// Record is one message in a partition log.
+type Record struct {
+	Offset int64
+	Key    []byte
+	Value  []byte
+}
+
+type partition struct {
+	records []Record
+}
+
+type topic struct {
+	partitions []*partition
+}
+
+// Broker holds topics and consumer-group offsets.
+type Broker struct {
+	mu      sync.RWMutex
+	topics  map[string]*topic
+	offsets map[string]int64 // group|topic|partition -> next offset
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: map[string]*topic{}, offsets: map[string]int64{}}
+}
+
+// CreateTopic registers a topic with the given partition count.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions < 1 {
+		return fmt.Errorf("msgbus: topic %q needs at least one partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.topics[name]; dup {
+		return fmt.Errorf("msgbus: topic %q exists", name)
+	}
+	t := &topic{partitions: make([]*partition, partitions)}
+	for i := range t.partitions {
+		t.partitions[i] = &partition{}
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Partitions returns the partition count of a topic.
+func (b *Broker) Partitions(name string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, name)
+	}
+	return len(t.partitions), nil
+}
+
+func keyHash(key []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Produce appends a record, choosing the partition by key hash (partition
+// 0 for nil keys). It returns the partition and assigned offset.
+func (b *Broker) Produce(topicName string, key, value []byte) (int, int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNoTopic, topicName)
+	}
+	p := 0
+	if key != nil {
+		p = int(keyHash(key) % uint64(len(t.partitions)))
+	}
+	part := t.partitions[p]
+	off := int64(len(part.records))
+	part.records = append(part.records, Record{
+		Offset: off,
+		Key:    append([]byte(nil), key...),
+		Value:  append([]byte(nil), value...),
+	})
+	return p, off, nil
+}
+
+// Consume returns up to max records from a partition starting at offset.
+func (b *Broker) Consume(topicName string, partition int, offset int64, max int) ([]Record, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTopic, topicName)
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: %d", ErrNoPartition, partition)
+	}
+	p := t.partitions[partition]
+	if offset < 0 || offset >= int64(len(p.records)) {
+		return nil, nil
+	}
+	end := offset + int64(max)
+	if end > int64(len(p.records)) {
+		end = int64(len(p.records))
+	}
+	out := make([]Record, end-offset)
+	for i, r := range p.records[offset:end] {
+		out[i] = Record{
+			Offset: r.Offset,
+			Key:    append([]byte(nil), r.Key...),
+			Value:  append([]byte(nil), r.Value...),
+		}
+	}
+	return out, nil
+}
+
+// EndOffset returns the next offset to be assigned in a partition.
+func (b *Broker) EndOffset(topicName string, partition int) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTopic, topicName)
+	}
+	if partition < 0 || partition >= len(t.partitions) {
+		return 0, fmt.Errorf("%w: %d", ErrNoPartition, partition)
+	}
+	return int64(len(t.partitions[partition].records)), nil
+}
+
+func groupKey(group, topicName string, partition int) string {
+	return fmt.Sprintf("%s|%s|%d", group, topicName, partition)
+}
+
+// Commit stores a consumer group's next offset for a partition.
+func (b *Broker) Commit(group, topicName string, partition int, next int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.offsets[groupKey(group, topicName, partition)] = next
+}
+
+// Committed returns the group's next offset (0 if never committed).
+func (b *Broker) Committed(group, topicName string, partition int) int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.offsets[groupKey(group, topicName, partition)]
+}
+
+// ConsumeGroup reads up to max records from a partition at the group's
+// committed position and advances it.
+func (b *Broker) ConsumeGroup(group, topicName string, partition, max int) ([]Record, error) {
+	off := b.Committed(group, topicName, partition)
+	recs, err := b.Consume(topicName, partition, off, max)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > 0 {
+		b.Commit(group, topicName, partition, recs[len(recs)-1].Offset+1)
+	}
+	return recs, nil
+}

@@ -1,0 +1,136 @@
+package msgbus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCreateAndProduce(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("logs", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("logs", 4); err == nil {
+		t.Fatal("duplicate topic accepted")
+	}
+	if err := b.CreateTopic("bad", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	p, off, err := b.Produce("logs", []byte("node1"), []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Fatalf("first offset = %d", off)
+	}
+	if p < 0 || p >= 4 {
+		t.Fatalf("partition = %d", p)
+	}
+	if _, _, err := b.Produce("nope", nil, nil); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestKeyStickiness(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 8)
+	first, _, _ := b.Produce("t", []byte("same-key"), []byte("a"))
+	for i := 0; i < 10; i++ {
+		p, _, _ := b.Produce("t", []byte("same-key"), []byte("b"))
+		if p != first {
+			t.Fatal("same key landed in different partitions")
+		}
+	}
+}
+
+func TestConsumeOrderAndBounds(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 1)
+	for i := 0; i < 5; i++ {
+		_, _, _ = b.Produce("t", nil, []byte{byte(i)})
+	}
+	recs, err := b.Consume("t", 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Value[0] != 1 || recs[1].Value[0] != 2 {
+		t.Fatalf("recs = %v", recs)
+	}
+	// Past the end: empty, no error.
+	recs, err = b.Consume("t", 0, 99, 10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+	if _, err := b.Consume("t", 3, 0, 1); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEndOffset(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 1)
+	if off, _ := b.EndOffset("t", 0); off != 0 {
+		t.Fatalf("empty end = %d", off)
+	}
+	_, _, _ = b.Produce("t", nil, []byte("x"))
+	if off, _ := b.EndOffset("t", 0); off != 1 {
+		t.Fatalf("end = %d", off)
+	}
+}
+
+func TestConsumerGroups(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 1)
+	for i := 0; i < 6; i++ {
+		_, _, _ = b.Produce("t", nil, []byte{byte(i)})
+	}
+	// First poll gets 4, second gets the rest, third is empty.
+	recs, _ := b.ConsumeGroup("g1", "t", 0, 4)
+	if len(recs) != 4 || recs[0].Value[0] != 0 {
+		t.Fatalf("poll1 = %v", recs)
+	}
+	recs, _ = b.ConsumeGroup("g1", "t", 0, 4)
+	if len(recs) != 2 || recs[0].Value[0] != 4 {
+		t.Fatalf("poll2 = %v", recs)
+	}
+	recs, _ = b.ConsumeGroup("g1", "t", 0, 4)
+	if len(recs) != 0 {
+		t.Fatalf("poll3 = %v", recs)
+	}
+	// A different group starts from zero.
+	recs, _ = b.ConsumeGroup("g2", "t", 0, 100)
+	if len(recs) != 6 {
+		t.Fatalf("g2 = %v", recs)
+	}
+}
+
+func TestRecordsAreCopies(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 1)
+	val := []byte("mutable")
+	_, _, _ = b.Produce("t", nil, val)
+	val[0] = 'X'
+	recs, _ := b.Consume("t", 0, 0, 1)
+	if recs[0].Value[0] != 'm' {
+		t.Fatal("broker stored caller's buffer")
+	}
+	recs[0].Value[0] = 'Y'
+	recs2, _ := b.Consume("t", 0, 0, 1)
+	if recs2[0].Value[0] != 'm' {
+		t.Fatal("consume leaked internal buffer")
+	}
+}
+
+func TestManyPartitionsDistribute(t *testing.T) {
+	b := NewBroker()
+	_ = b.CreateTopic("t", 4)
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		p, _, _ := b.Produce("t", []byte(fmt.Sprintf("key%d", i)), nil)
+		seen[p] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("keys hashed into only %d partitions", len(seen))
+	}
+}

@@ -1,0 +1,120 @@
+package nvmeof
+
+import (
+	"net"
+	"sync"
+)
+
+// Client is the host-side initiator: a connection to one subsystem on a
+// target, through which remote namespaces appear as local devices.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	nqn  string
+}
+
+// Connect dials a target and establishes an association with the given
+// subsystem NQN.
+func Connect(addr, nqn string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, nqn: nqn}
+	if _, err := c.roundTrip(command{Opcode: OpConnect}, []byte(nqn)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NQN returns the subsystem this client is associated with.
+func (c *Client) NQN() string { return c.nqn }
+
+// roundTrip sends one command and waits for its response. The protocol is
+// synchronous per connection; the mutex serializes callers.
+func (c *Client) roundTrip(cmd command, data []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, marshalCommand(cmd, data)); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, ErrInvalid
+	}
+	if err := statusToError(resp[0]); err != nil {
+		return nil, err
+	}
+	return resp[1:], nil
+}
+
+// Identify lists the namespaces exported by the subsystem.
+func (c *Client) Identify() ([]NamespaceInfo, error) {
+	resp, err := c.roundTrip(command{Opcode: OpIdentify}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return unmarshalIdentify(resp)
+}
+
+// Namespace returns a device handle for the given namespace id.
+func (c *Client) Namespace(nsid uint32) *RemoteDevice {
+	return &RemoteDevice{client: c, nsid: nsid}
+}
+
+// Close terminates the association.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteDevice exposes a remote namespace with ReadAt/WriteAt semantics,
+// so the storage backend cannot tell it from a local disk — the decoupling
+// §3.1 relies on.
+type RemoteDevice struct {
+	client *Client
+	nsid   uint32
+}
+
+// NSID returns the namespace id.
+func (d *RemoteDevice) NSID() uint32 { return d.nsid }
+
+// ReadAt reads len(p) bytes at off.
+func (d *RemoteDevice) ReadAt(p []byte, off int64) (int, error) {
+	resp, err := d.client.roundTrip(command{
+		Opcode: OpRead, NSID: d.nsid, Offset: uint64(off), Length: uint32(len(p)),
+	}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != len(p) {
+		return copy(p, resp), ErrIO
+	}
+	return copy(p, resp), nil
+}
+
+// WriteAt writes p at off.
+func (d *RemoteDevice) WriteAt(p []byte, off int64) (int, error) {
+	_, err := d.client.roundTrip(command{
+		Opcode: OpWrite, NSID: d.nsid, Offset: uint64(off), Length: uint32(len(p)),
+	}, p)
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Flush issues a flush command.
+func (d *RemoteDevice) Flush() error {
+	_, err := d.client.roundTrip(command{Opcode: OpFlush, NSID: d.nsid}, nil)
+	return err
+}
+
+// Trim discards the given range.
+func (d *RemoteDevice) Trim(off, length int64) error {
+	_, err := d.client.roundTrip(command{
+		Opcode: OpTrim, NSID: d.nsid, Offset: uint64(off), Length: uint32(length),
+	}, nil)
+	return err
+}

@@ -1,0 +1,349 @@
+package nvmeof
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func newTargetWithNS(t *testing.T) (*Target, string) {
+	t.Helper()
+	tgt := NewTarget()
+	if err := tgt.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() })
+	if err := tgt.AddSubsystem("nqn.2024-07.repro:osd0"); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := blockdev.New("nvme0n1", 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.AddNamespace("nqn.2024-07.repro:osd0", 1, dev); err != nil {
+		t.Fatal(err)
+	}
+	return tgt, tgt.Addr()
+}
+
+func TestConnectAndIdentify(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	infos, err := c.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].NSID != 1 || infos[0].Size != 1<<20 || infos[0].BlockSize != 4096 {
+		t.Fatalf("identify: %+v", infos)
+	}
+}
+
+func TestConnectUnknownSubsystem(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	if _, err := Connect(addr, "nqn.bogus"); !errors.Is(err, ErrNoSubsystem) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRemoteReadWrite(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dev := c.Namespace(1)
+	data := make([]byte, 20000)
+	rand.New(rand.NewSource(7)).Read(data)
+	if _, err := dev.WriteAt(data, 5000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := dev.ReadAt(got, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("remote round trip mismatch")
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteTrim(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, _ := Connect(addr, "nqn.2024-07.repro:osd0")
+	defer c.Close()
+	dev := c.Namespace(1)
+	if _, err := dev.WriteAt(make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Trim(0, 8192); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownNamespace(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, _ := Connect(addr, "nqn.2024-07.repro:osd0")
+	defer c.Close()
+	dev := c.Namespace(99)
+	if _, err := dev.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrNoNamespace) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestOutOfRangeIO(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, _ := Connect(addr, "nqn.2024-07.repro:osd0")
+	defer c.Close()
+	dev := c.Namespace(1)
+	if _, err := dev.WriteAt(make([]byte, 10), 1<<20); !errors.Is(err, ErrIO) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestRemoveSubsystemSeversConnection is the core fault-injection path:
+// removing the subsystem must make in-flight associations fail, exactly
+// like pulling an NVMe-oF device with nvmetcli.
+func TestRemoveSubsystemSeversConnection(t *testing.T) {
+	tgt, addr := newTargetWithNS(t)
+	c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dev := c.Namespace(1)
+	if _, err := dev.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.RemoveSubsystem("nqn.2024-07.repro:osd0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAt(make([]byte, 3), 0); err == nil {
+		t.Fatal("I/O after subsystem removal should fail")
+	}
+	// Reconnecting must also fail.
+	if _, err := Connect(addr, "nqn.2024-07.repro:osd0"); err == nil {
+		t.Fatal("reconnect to removed subsystem should fail")
+	}
+}
+
+func TestRemoveUnknownSubsystem(t *testing.T) {
+	tgt, _ := newTargetWithNS(t)
+	if err := tgt.RemoveSubsystem("nope"); !errors.Is(err, ErrNoSubsystem) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDuplicateSubsystemAndNamespace(t *testing.T) {
+	tgt, _ := newTargetWithNS(t)
+	if err := tgt.AddSubsystem("nqn.2024-07.repro:osd0"); err == nil {
+		t.Fatal("duplicate subsystem accepted")
+	}
+	dev, _ := blockdev.New("d", 4096, 4096)
+	if err := tgt.AddNamespace("nqn.2024-07.repro:osd0", 1, dev); err == nil {
+		t.Fatal("duplicate namespace accepted")
+	}
+	if err := tgt.AddNamespace("nope", 2, dev); !errors.Is(err, ErrNoSubsystem) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	tgt, addr := newTargetWithNS(t)
+	_ = tgt
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			dev := c.Namespace(1)
+			buf := []byte{byte(g)}
+			for i := 0; i < 50; i++ {
+				if _, err := dev.WriteAt(buf, int64(g*4096)); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, 1)
+				if _, err := dev.ReadAt(got, int64(g*4096)); err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != byte(g) {
+					t.Errorf("client %d read %d", g, got[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMultipleNamespaces(t *testing.T) {
+	tgt := NewTarget()
+	if err := tgt.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer tgt.Close()
+	_ = tgt.AddSubsystem("ss")
+	for nsid := uint32(1); nsid <= 3; nsid++ {
+		dev, _ := blockdev.New("d", int64(nsid)*4096, 4096)
+		if err := tgt.AddNamespace("ss", nsid, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := Connect(tgt.Addr(), "ss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	infos, err := c.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("got %d namespaces", len(infos))
+	}
+	for i, ns := range infos {
+		if ns.NSID != uint32(i+1) {
+			t.Fatal("identify not sorted by nsid")
+		}
+		if ns.Size != uint64(i+1)*4096 {
+			t.Fatal("wrong size")
+		}
+	}
+}
+
+func TestTargetClose(t *testing.T) {
+	tgt, addr := newTargetWithNS(t)
+	c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Namespace(1).ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("I/O after target close should fail")
+	}
+	// Close is idempotent.
+	if err := tgt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolMarshalRoundTrip(t *testing.T) {
+	cmd := command{Opcode: OpWrite, NSID: 7, Offset: 1 << 40, Length: 1234}
+	data := []byte("hello")
+	buf := marshalCommand(cmd, data)
+	got, payload, err := unmarshalCommand(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cmd || !bytes.Equal(payload, data) {
+		t.Fatalf("round trip: %+v %q", got, payload)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// A frame header claiming more than maxFrame must be rejected.
+	_ = writeFrame(&buf, []byte("ok"))
+	if _, err := readFrame(&buf); err != nil {
+		t.Fatal(err)
+	}
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := readFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestShortCommandRejected(t *testing.T) {
+	if _, _, err := unmarshalCommand([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short command accepted")
+	}
+}
+
+func TestIOBeforeConnectRejected(t *testing.T) {
+	tgt, addr := newTargetWithNS(t)
+	_ = tgt
+	// Speak the raw protocol: send a read without OpConnect first.
+	conn, err := dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cmd := marshalCommand(command{Opcode: OpRead, NSID: 1, Length: 8}, nil)
+	if err := writeFrame(conn, cmd); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) == 0 || resp[0] != StatusNotConnected {
+		t.Fatalf("status = %v, want StatusNotConnected", resp[:1])
+	}
+}
+
+func TestUnknownOpcodeRejected(t *testing.T) {
+	_, addr := newTargetWithNS(t)
+	c, err := Connect(addr, "nqn.2024-07.repro:osd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.roundTrip(command{Opcode: 0x77, NSID: 1}, nil); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestStatusToErrorMapping(t *testing.T) {
+	cases := map[byte]error{
+		StatusOK:            nil,
+		StatusNoSubsystem:   ErrNoSubsystem,
+		StatusNoNamespace:   ErrNoNamespace,
+		StatusIOError:       ErrIO,
+		StatusNotConnected:  ErrNotConnected,
+		StatusDeviceRemoved: ErrDeviceRemoved,
+		0x7F:                ErrInvalid,
+	}
+	for status, want := range cases {
+		if got := statusToError(status); !errors.Is(got, want) {
+			t.Errorf("status %#x: got %v want %v", status, got, want)
+		}
+	}
+}
+
+func TestIdentifyMarshalRoundTrip(t *testing.T) {
+	infos := []NamespaceInfo{{1, 100, 512}, {9, 1 << 30, 4096}}
+	got, err := unmarshalIdentify(marshalIdentify(infos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != infos[0] || got[1] != infos[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := unmarshalIdentify([]byte{1, 2}); err == nil {
+		t.Fatal("short identify accepted")
+	}
+}
+
+// dial opens a raw protocol connection for edge-case tests.
+func dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }

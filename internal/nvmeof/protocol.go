@@ -1,0 +1,172 @@
+// Package nvmeof implements a miniature NVMe-over-Fabrics-style remote
+// block protocol over TCP. It plays the role nvmetcli + NVMe-oF play in
+// the paper (§3.1): decoupling DataNodes from their storage so ECFault can
+// provision virtual disks and fail them at runtime by removing subsystems,
+// without touching the storage system under test.
+//
+// The wire protocol is a simplified capsule exchange: length-prefixed
+// frames carrying a fixed command header plus payload. It is not the real
+// NVMe-oF binding, but it preserves the properties the methodology needs:
+// remote namespaces addressed by (subsystem NQN, namespace id), runtime
+// subsystem removal that severs live connections, and an identify command
+// for discovery.
+package nvmeof
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpConnect  = 0x01 // payload: NQN string
+	OpIdentify = 0x02 // response payload: namespace table
+	OpRead     = 0x10
+	OpWrite    = 0x11
+	OpFlush    = 0x12
+	OpTrim     = 0x13
+)
+
+// Status codes.
+const (
+	StatusOK            = 0x00
+	StatusInvalid       = 0x01
+	StatusNoSubsystem   = 0x02
+	StatusNoNamespace   = 0x03
+	StatusIOError       = 0x04
+	StatusNotConnected  = 0x05
+	StatusDeviceRemoved = 0x06
+)
+
+// Protocol errors surfaced to initiators.
+var (
+	ErrNoSubsystem   = errors.New("nvmeof: no such subsystem")
+	ErrNoNamespace   = errors.New("nvmeof: no such namespace")
+	ErrIO            = errors.New("nvmeof: remote I/O error")
+	ErrInvalid       = errors.New("nvmeof: invalid command")
+	ErrNotConnected  = errors.New("nvmeof: association not established")
+	ErrDeviceRemoved = errors.New("nvmeof: device removed")
+)
+
+func statusToError(status byte) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNoSubsystem:
+		return ErrNoSubsystem
+	case StatusNoNamespace:
+		return ErrNoNamespace
+	case StatusIOError:
+		return ErrIO
+	case StatusNotConnected:
+		return ErrNotConnected
+	case StatusDeviceRemoved:
+		return ErrDeviceRemoved
+	default:
+		return ErrInvalid
+	}
+}
+
+// command is the fixed-size request header.
+// Layout: opcode(1) | pad(1) | nsid(4) | offset(8) | length(4).
+type command struct {
+	Opcode byte
+	NSID   uint32
+	Offset uint64
+	Length uint32
+}
+
+const headerSize = 1 + 1 + 4 + 8 + 4
+
+// maxFrame bounds a frame to defend against corrupt lengths.
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("nvmeof: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func marshalCommand(cmd command, data []byte) []byte {
+	buf := make([]byte, headerSize+len(data))
+	buf[0] = cmd.Opcode
+	binary.BigEndian.PutUint32(buf[2:6], cmd.NSID)
+	binary.BigEndian.PutUint64(buf[6:14], cmd.Offset)
+	binary.BigEndian.PutUint32(buf[14:18], cmd.Length)
+	copy(buf[headerSize:], data)
+	return buf
+}
+
+func unmarshalCommand(payload []byte) (command, []byte, error) {
+	if len(payload) < headerSize {
+		return command{}, nil, ErrInvalid
+	}
+	cmd := command{
+		Opcode: payload[0],
+		NSID:   binary.BigEndian.Uint32(payload[2:6]),
+		Offset: binary.BigEndian.Uint64(payload[6:14]),
+		Length: binary.BigEndian.Uint32(payload[14:18]),
+	}
+	return cmd, payload[headerSize:], nil
+}
+
+// NamespaceInfo describes one namespace in an identify response.
+type NamespaceInfo struct {
+	NSID      uint32
+	Size      uint64
+	BlockSize uint32
+}
+
+func marshalIdentify(infos []NamespaceInfo) []byte {
+	buf := make([]byte, 4+16*len(infos))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(infos)))
+	for i, ns := range infos {
+		off := 4 + 16*i
+		binary.BigEndian.PutUint32(buf[off:off+4], ns.NSID)
+		binary.BigEndian.PutUint64(buf[off+4:off+12], ns.Size)
+		binary.BigEndian.PutUint32(buf[off+12:off+16], ns.BlockSize)
+	}
+	return buf
+}
+
+func unmarshalIdentify(buf []byte) ([]NamespaceInfo, error) {
+	if len(buf) < 4 {
+		return nil, ErrInvalid
+	}
+	n := binary.BigEndian.Uint32(buf[0:4])
+	if len(buf) != int(4+16*n) {
+		return nil, ErrInvalid
+	}
+	infos := make([]NamespaceInfo, n)
+	for i := range infos {
+		off := 4 + 16*i
+		infos[i] = NamespaceInfo{
+			NSID:      binary.BigEndian.Uint32(buf[off : off+4]),
+			Size:      binary.BigEndian.Uint64(buf[off+4 : off+12]),
+			BlockSize: binary.BigEndian.Uint32(buf[off+12 : off+16]),
+		}
+	}
+	return infos, nil
+}

@@ -1,0 +1,281 @@
+package nvmeof
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/blockdev"
+)
+
+// Target is the storage-side endpoint: it exports subsystems, each holding
+// namespaces backed by virtual block devices. It mirrors the role of the
+// kernel NVMe target configured with nvmetcli on each DataNode.
+type Target struct {
+	mu         sync.Mutex
+	ln         net.Listener
+	subsystems map[string]*subsystem
+	conns      map[net.Conn]string // live associations, by NQN
+	closed     bool
+	wg         sync.WaitGroup
+}
+
+type subsystem struct {
+	nqn        string
+	namespaces map[uint32]*blockdev.Device
+}
+
+// NewTarget creates an empty target.
+func NewTarget() *Target {
+	return &Target{
+		subsystems: map[string]*subsystem{},
+		conns:      map[net.Conn]string{},
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0").
+func (t *Target) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listen address, or "" before Listen.
+func (t *Target) Addr() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+func (t *Target) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serve(conn)
+		}()
+	}
+}
+
+// AddSubsystem creates a subsystem with the given NQN.
+func (t *Target) AddSubsystem(nqn string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.subsystems[nqn]; dup {
+		return fmt.Errorf("nvmeof: subsystem %q exists", nqn)
+	}
+	t.subsystems[nqn] = &subsystem{nqn: nqn, namespaces: map[uint32]*blockdev.Device{}}
+	return nil
+}
+
+// AddNamespace attaches a device to a subsystem as the given namespace id.
+func (t *Target) AddNamespace(nqn string, nsid uint32, dev *blockdev.Device) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ss, ok := t.subsystems[nqn]
+	if !ok {
+		return ErrNoSubsystem
+	}
+	if _, dup := ss.namespaces[nsid]; dup {
+		return fmt.Errorf("nvmeof: namespace %d exists in %q", nsid, nqn)
+	}
+	ss.namespaces[nsid] = dev
+	return nil
+}
+
+// RemoveSubsystem deletes a subsystem and severs every live association
+// with it — the device-level fault injection primitive of §3.2. The
+// backing devices are marked removed.
+func (t *Target) RemoveSubsystem(nqn string) error {
+	t.mu.Lock()
+	ss, ok := t.subsystems[nqn]
+	if !ok {
+		t.mu.Unlock()
+		return ErrNoSubsystem
+	}
+	delete(t.subsystems, nqn)
+	var toClose []net.Conn
+	for conn, connNQN := range t.conns {
+		if connNQN == nqn {
+			toClose = append(toClose, conn)
+			delete(t.conns, conn)
+		}
+	}
+	t.mu.Unlock()
+	for _, dev := range ss.namespaces {
+		dev.Remove()
+	}
+	for _, conn := range toClose {
+		conn.Close()
+	}
+	return nil
+}
+
+// Subsystems lists the NQNs currently exported.
+func (t *Target) Subsystems() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.subsystems))
+	for nqn := range t.subsystems {
+		out = append(out, nqn)
+	}
+	return out
+}
+
+// Close shuts the target down, closing the listener and every connection.
+func (t *Target) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ln := t.ln
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = map[net.Conn]string{}
+	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Target) serve(conn net.Conn) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	var nqn string // established by OpConnect
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		cmd, data, err := unmarshalCommand(payload)
+		if err != nil {
+			t.respond(conn, StatusInvalid, nil)
+			continue
+		}
+		if cmd.Opcode == OpConnect {
+			want := string(data)
+			t.mu.Lock()
+			_, ok := t.subsystems[want]
+			if ok {
+				nqn = want
+				t.conns[conn] = nqn
+			}
+			t.mu.Unlock()
+			if !ok {
+				t.respond(conn, StatusNoSubsystem, nil)
+				return
+			}
+			t.respond(conn, StatusOK, nil)
+			continue
+		}
+		if nqn == "" {
+			t.respond(conn, StatusNotConnected, nil)
+			continue
+		}
+		t.handleIO(conn, nqn, cmd, data)
+	}
+}
+
+func (t *Target) handleIO(conn net.Conn, nqn string, cmd command, data []byte) {
+	t.mu.Lock()
+	ss, ok := t.subsystems[nqn]
+	t.mu.Unlock()
+	if !ok {
+		t.respond(conn, StatusNoSubsystem, nil)
+		return
+	}
+	if cmd.Opcode == OpIdentify {
+		t.mu.Lock()
+		infos := make([]NamespaceInfo, 0, len(ss.namespaces))
+		for nsid, dev := range ss.namespaces {
+			infos = append(infos, NamespaceInfo{NSID: nsid, Size: uint64(dev.Capacity()), BlockSize: uint32(dev.BlockSize())})
+		}
+		t.mu.Unlock()
+		sortNamespaces(infos)
+		t.respond(conn, StatusOK, marshalIdentify(infos))
+		return
+	}
+	t.mu.Lock()
+	dev, ok := ss.namespaces[cmd.NSID]
+	t.mu.Unlock()
+	if !ok {
+		t.respond(conn, StatusNoNamespace, nil)
+		return
+	}
+	switch cmd.Opcode {
+	case OpRead:
+		buf := make([]byte, cmd.Length)
+		if _, err := dev.ReadAt(buf, int64(cmd.Offset)); err != nil {
+			t.respond(conn, ioStatus(err), nil)
+			return
+		}
+		t.respond(conn, StatusOK, buf)
+	case OpWrite:
+		if _, err := dev.WriteAt(data, int64(cmd.Offset)); err != nil {
+			t.respond(conn, ioStatus(err), nil)
+			return
+		}
+		t.respond(conn, StatusOK, nil)
+	case OpFlush:
+		t.respond(conn, StatusOK, nil)
+	case OpTrim:
+		if err := dev.Trim(int64(cmd.Offset), int64(cmd.Length)); err != nil {
+			t.respond(conn, ioStatus(err), nil)
+			return
+		}
+		t.respond(conn, StatusOK, nil)
+	default:
+		t.respond(conn, StatusInvalid, nil)
+	}
+}
+
+func ioStatus(err error) byte {
+	if errors.Is(err, blockdev.ErrRemoved) {
+		return StatusDeviceRemoved
+	}
+	return StatusIOError
+}
+
+func (t *Target) respond(conn net.Conn, status byte, data []byte) {
+	payload := make([]byte, 1+len(data))
+	payload[0] = status
+	copy(payload[1:], data)
+	_ = writeFrame(conn, payload)
+}
+
+func sortNamespaces(infos []NamespaceInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j-1].NSID > infos[j].NSID; j-- {
+			infos[j-1], infos[j] = infos[j], infos[j-1]
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package simclock is a small deterministic discrete-event simulation
+// engine. The cluster simulator uses it to account for the time cost of
+// heartbeats, peering, disk I/O, network transfers and decode CPU without
+// running in real time.
+//
+// Events scheduled for the same instant fire in scheduling order, making
+// runs fully reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time since the start of the run.
+type Time = time.Duration
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use;
+// everything runs on the caller's goroutine inside Run.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// New returns a simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute time t, which must not be in the past.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simclock: scheduling into the past (%v < %v)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now. Negative d is treated as zero.
+func (s *Sim) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run processes events until none remain, returning the final time.
+func (s *Sim) Run() Time {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	return s.now
+}
+
+// RunUntil processes events with time <= t, then sets the clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for s.events.Len() > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (s *Sim) Pending() int { return s.events.Len() }
+
+// Queue is a FIFO service center with a fixed number of parallel servers.
+// Jobs are submitted with a service duration; each occupies one server for
+// that duration, then its completion callback fires.
+//
+// Disks, NICs and per-OSD recovery/CPU slots are all modeled as Queues.
+type Queue struct {
+	sim     *Sim
+	servers int
+	busy    int
+	waiting []queuedJob
+
+	// Stats.
+	JobsServed   int
+	BusyTime     Time // total server-occupied duration
+	lastChange   Time
+	totalWaiting Time
+}
+
+type queuedJob struct {
+	service Time
+	done    func()
+	queued  Time
+}
+
+// NewQueue creates a service center with the given parallelism (>= 1).
+func (s *Sim) NewQueue(servers int) *Queue {
+	if servers < 1 {
+		panic("simclock: queue needs at least one server")
+	}
+	return &Queue{sim: s, servers: servers}
+}
+
+// Submit enqueues a job with the given service time; done (may be nil)
+// fires at completion.
+func (q *Queue) Submit(service Time, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	if q.busy < q.servers {
+		q.start(service, done)
+		return
+	}
+	q.waiting = append(q.waiting, queuedJob{service: service, done: done, queued: q.sim.Now()})
+}
+
+func (q *Queue) start(service Time, done func()) {
+	q.busy++
+	q.BusyTime += service
+	q.sim.After(service, func() {
+		q.busy--
+		q.JobsServed++
+		if len(q.waiting) > 0 {
+			j := q.waiting[0]
+			q.waiting = q.waiting[1:]
+			q.totalWaiting += q.sim.Now() - j.queued
+			q.start(j.service, j.done)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// InFlight reports currently executing jobs.
+func (q *Queue) InFlight() int { return q.busy }
+
+// QueueLen reports jobs waiting for a server.
+func (q *Queue) QueueLen() int { return len(q.waiting) }
+
+// TotalWaiting is the cumulative time jobs spent queued before service.
+func (q *Queue) TotalWaiting() Time { return q.totalWaiting }
+
+// Semaphore is a counting semaphore with FIFO waiters, used for held
+// resources like Ceph's per-OSD recovery/backfill reservations (unlike
+// Queue, which models jobs with known service times).
+type Semaphore struct {
+	capacity int
+	held     int
+	waiters  []func()
+}
+
+// NewSemaphore creates a semaphore with the given capacity (>= 1).
+func (s *Sim) NewSemaphore(capacity int) *Semaphore {
+	if capacity < 1 {
+		panic("simclock: semaphore needs capacity >= 1")
+	}
+	return &Semaphore{capacity: capacity}
+}
+
+// Acquire grants a unit to fn, immediately if available, otherwise when a
+// holder releases. Grants are FIFO.
+func (sem *Semaphore) Acquire(fn func()) {
+	if sem.held < sem.capacity {
+		sem.held++
+		fn()
+		return
+	}
+	sem.waiters = append(sem.waiters, fn)
+}
+
+// Release returns a unit, granting the oldest waiter if any.
+func (sem *Semaphore) Release() {
+	if sem.held <= 0 {
+		panic("simclock: Release without Acquire")
+	}
+	if len(sem.waiters) > 0 {
+		next := sem.waiters[0]
+		sem.waiters = sem.waiters[1:]
+		next()
+		return
+	}
+	sem.held--
+}
+
+// Held reports currently granted units.
+func (sem *Semaphore) Held() int { return sem.held }
+
+// Waiting reports queued acquirers.
+func (sem *Semaphore) Waiting() int { return len(sem.waiters) }
+
+// Join is a completion barrier: after n calls to Done, fn fires once.
+type Join struct {
+	remaining int
+	fn        func()
+}
+
+// NewJoin creates a barrier over n completions. If n == 0 the callback
+// fires immediately.
+func NewJoin(n int, fn func()) *Join {
+	j := &Join{remaining: n, fn: fn}
+	if n == 0 && fn != nil {
+		fn()
+	}
+	return j
+}
+
+// Done records one completion, firing the callback on the last.
+func (j *Join) Done() {
+	if j.remaining <= 0 {
+		panic("simclock: Join.Done called too many times")
+	}
+	j.remaining--
+	if j.remaining == 0 && j.fn != nil {
+		j.fn()
+	}
+}

@@ -1,0 +1,324 @@
+// Package tuner implements the paper's proposed follow-up (§6): using the
+// quantitative configuration-sensitivity measurements to tune EC-based
+// DSS automatically. Given a base profile and a search space of
+// configuration knobs (plugin, pg_num, stripe_unit, cache scheme), it
+// evaluates candidates through the ECFault coordinator and ranks them by
+// an objective over recovery time and write amplification.
+//
+// Two strategies are provided: exhaustive grid search, and greedy
+// coordinate descent for larger spaces (tune one knob at a time, keeping
+// the best value before moving to the next).
+package tuner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durability"
+	"repro/internal/erasure"
+)
+
+// Objective scores a candidate; lower is better.
+type Objective int
+
+const (
+	// MinRecoveryTime optimizes the system recovery time alone.
+	MinRecoveryTime Objective = iota
+	// MinWriteAmplification optimizes storage overhead alone.
+	MinWriteAmplification
+	// Balanced optimizes the product of normalized recovery time and WA.
+	Balanced
+	// MaxDurability optimizes MTTDL, with the candidate's measured
+	// recovery time feeding the repair rate — fast recovery is durability.
+	MaxDurability
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinRecoveryTime:
+		return "min-recovery-time"
+	case MinWriteAmplification:
+		return "min-write-amplification"
+	case MaxDurability:
+		return "max-durability"
+	default:
+		return "balanced"
+	}
+}
+
+// PluginChoice is one erasure-code candidate.
+type PluginChoice struct {
+	Plugin string
+	K, M   int
+	D      int
+}
+
+func (p PluginChoice) String() string {
+	if p.D > 0 {
+		return fmt.Sprintf("%s(k=%d,m=%d,d=%d)", p.Plugin, p.K, p.M, p.D)
+	}
+	return fmt.Sprintf("%s(k=%d,m=%d)", p.Plugin, p.K, p.M)
+}
+
+// Space enumerates the knobs to explore. Empty slices keep the base
+// profile's value for that knob.
+type Space struct {
+	Plugins      []PluginChoice
+	PGNums       []int
+	StripeUnits  []int64
+	CacheSchemes []string
+}
+
+// Candidates returns the cartesian product of the space applied to base.
+func (s Space) Candidates(base core.Profile) []core.Profile {
+	plugins := s.Plugins
+	if len(plugins) == 0 {
+		plugins = []PluginChoice{{Plugin: base.Pool.Plugin, K: base.Pool.K, M: base.Pool.M, D: base.Pool.D}}
+	}
+	pgs := s.PGNums
+	if len(pgs) == 0 {
+		pgs = []int{base.Pool.PGNum}
+	}
+	units := s.StripeUnits
+	if len(units) == 0 {
+		units = []int64{base.Pool.StripeUnit}
+	}
+	caches := s.CacheSchemes
+	if len(caches) == 0 {
+		caches = []string{base.Backend.CacheScheme}
+	}
+	var out []core.Profile
+	for _, pl := range plugins {
+		for _, pg := range pgs {
+			for _, u := range units {
+				for _, cs := range caches {
+					p := base
+					p.Pool.Plugin = pl.Plugin
+					p.Pool.K = pl.K
+					p.Pool.M = pl.M
+					p.Pool.D = pl.D
+					p.Pool.PGNum = pg
+					p.Pool.StripeUnit = u
+					p.Backend.CacheScheme = cs
+					p.Name = fmt.Sprintf("tune-%s-pg%d-su%d-%s", pl, pg, u, cs)
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Profile      core.Profile
+	RecoveryTime time.Duration
+	WA           float64
+	// DurabilityNines is the annual durability implied by the code's
+	// geometry and the measured recovery time (AFR 2%/year).
+	DurabilityNines float64
+	Score           float64
+	Err             error // non-nil when the profile failed to run
+}
+
+// Describe summarizes the candidate's knobs.
+func (c Candidate) Describe() string {
+	p := c.Profile.Pool
+	return fmt.Sprintf("%s k=%d m=%d pg_num=%d stripe_unit=%d cache=%s",
+		p.Plugin, p.K, p.M, p.PGNum, p.StripeUnit, c.Profile.Backend.CacheScheme)
+}
+
+// ErrEmptySpace is returned when the space yields no runnable candidate.
+var ErrEmptySpace = errors.New("tuner: no candidate could be evaluated")
+
+// evaluate runs one profile and extracts the raw metrics.
+func evaluate(p core.Profile) Candidate {
+	cand := Candidate{Profile: p}
+	if err := p.Validate(); err != nil {
+		cand.Err = err
+		return cand
+	}
+	res, err := core.Run(p)
+	if err != nil {
+		cand.Err = err
+		return cand
+	}
+	if res.Recovery != nil {
+		cand.RecoveryTime = res.Recovery.SystemRecoveryTime()
+	}
+	cand.WA = res.WA.Measured
+
+	// Durability: the measured recovery time is the repair MTTR.
+	if cand.RecoveryTime > 0 {
+		code, err := erasure.New(p.Pool.Plugin, p.Pool.K, p.Pool.M, p.Pool.D)
+		if err == nil {
+			rep, derr := durability.Evaluate(code, durability.Params{
+				DeviceAFR: 0.02,
+				MTTRHours: cand.RecoveryTime.Hours(),
+				Samples:   800,
+				Seed:      1,
+			})
+			if derr == nil {
+				cand.DurabilityNines = rep.DurabilityNines
+			}
+		}
+	}
+	return cand
+}
+
+// score computes the objective over metrics normalized by the bests seen.
+func score(obj Objective, c Candidate, bestTime time.Duration, bestWA float64) float64 {
+	tNorm := 1.0
+	if bestTime > 0 && c.RecoveryTime > 0 {
+		tNorm = float64(c.RecoveryTime) / float64(bestTime)
+	}
+	waNorm := 1.0
+	if bestWA > 0 && c.WA > 0 {
+		waNorm = c.WA / bestWA
+	}
+	switch obj {
+	case MinRecoveryTime:
+		return tNorm
+	case MinWriteAmplification:
+		return waNorm
+	case MaxDurability:
+		// Lower is better: invert the nines (clamped away from zero).
+		if c.DurabilityNines <= 0 {
+			return math.Inf(1)
+		}
+		return 100 / c.DurabilityNines
+	default:
+		return tNorm * waNorm
+	}
+}
+
+// rank scores and sorts evaluated candidates, best first.
+func rank(obj Objective, cands []Candidate) []Candidate {
+	bestTime := time.Duration(math.MaxInt64)
+	bestWA := math.MaxFloat64
+	ok := 0
+	for _, c := range cands {
+		if c.Err != nil {
+			continue
+		}
+		ok++
+		if c.RecoveryTime > 0 && c.RecoveryTime < bestTime {
+			bestTime = c.RecoveryTime
+		}
+		if c.WA > 0 && c.WA < bestWA {
+			bestWA = c.WA
+		}
+	}
+	if ok == 0 {
+		return nil
+	}
+	for i := range cands {
+		if cands[i].Err != nil {
+			cands[i].Score = math.Inf(1)
+			continue
+		}
+		cands[i].Score = score(obj, cands[i], bestTime, bestWA)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Score < cands[j].Score })
+	return cands
+}
+
+// GridSearch evaluates every candidate in the space and returns them
+// ranked best-first. Candidates run concurrently (each experiment is an
+// independent simulated cluster), bounded by GOMAXPROCS.
+func GridSearch(base core.Profile, space Space, obj Objective) ([]Candidate, error) {
+	profiles := space.Candidates(base)
+	cands := make([]Candidate, len(profiles))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range profiles {
+		wg.Add(1)
+		go func(i int, p core.Profile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cands[i] = evaluate(p)
+		}(i, p)
+	}
+	wg.Wait()
+	ranked := rank(obj, cands)
+	if ranked == nil {
+		return nil, ErrEmptySpace
+	}
+	return ranked, nil
+}
+
+// GreedySearch tunes one knob at a time in a fixed order (plugin, pg_num,
+// stripe_unit, cache scheme), keeping the best value of each before
+// moving on — O(sum of knob sizes) runs instead of the product.
+func GreedySearch(base core.Profile, space Space, obj Objective) (Candidate, int, error) {
+	current := base
+	runs := 0
+	better := func(a, b Candidate) bool {
+		if b.Err != nil {
+			return true
+		}
+		if a.Err != nil {
+			return false
+		}
+		return score(obj, a, minDur(a.RecoveryTime, b.RecoveryTime), math.Min(orInf(a.WA), orInf(b.WA))) <=
+			score(obj, b, minDur(a.RecoveryTime, b.RecoveryTime), math.Min(orInf(a.WA), orInf(b.WA)))
+	}
+	best := evaluate(current)
+	runs++
+	tryAll := func(apply func(*core.Profile, int), count int) {
+		for v := 0; v < count; v++ {
+			p := current
+			apply(&p, v)
+			if p.Pool == current.Pool && p.Backend == current.Backend {
+				continue // same as current, skip duplicate run
+			}
+			cand := evaluate(p)
+			runs++
+			if better(cand, best) {
+				best = cand
+				current = p
+			}
+		}
+	}
+	if len(space.Plugins) > 0 {
+		tryAll(func(p *core.Profile, v int) {
+			pl := space.Plugins[v]
+			p.Pool.Plugin, p.Pool.K, p.Pool.M, p.Pool.D = pl.Plugin, pl.K, pl.M, pl.D
+		}, len(space.Plugins))
+	}
+	if len(space.PGNums) > 0 {
+		tryAll(func(p *core.Profile, v int) { p.Pool.PGNum = space.PGNums[v] }, len(space.PGNums))
+	}
+	if len(space.StripeUnits) > 0 {
+		tryAll(func(p *core.Profile, v int) { p.Pool.StripeUnit = space.StripeUnits[v] }, len(space.StripeUnits))
+	}
+	if len(space.CacheSchemes) > 0 {
+		tryAll(func(p *core.Profile, v int) { p.Backend.CacheScheme = space.CacheSchemes[v] }, len(space.CacheSchemes))
+	}
+	if best.Err != nil {
+		return best, runs, ErrEmptySpace
+	}
+	best.Score = 1 // normalized against itself; grid ranks are relative
+	return best, runs, nil
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a > 0 && (b <= 0 || a < b) {
+		return a
+	}
+	return b
+}
+
+func orInf(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(1)
+	}
+	return v
+}

@@ -1,0 +1,31 @@
+package wamodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/wamodel"
+)
+
+// The paper's §4.4 example: a 64 MiB object under RS(12,9) with a 4 MiB
+// stripe unit pads each chunk to 8 MiB, so the real storage overhead is
+// 1.5x before any metadata — well above the textbook n/k = 1.33.
+func Example() {
+	chunk, _ := wamodel.ChunkSize(64<<20, 9, 4<<20)
+	bound, _ := wamodel.LowerBoundWA(64<<20, 12, 9, 4<<20)
+	fmt.Printf("S_chunk = %d MiB\n", chunk>>20)
+	fmt.Printf("n/k     = %.3f\n", wamodel.TheoreticalWA(12, 9))
+	fmt.Printf("formula = %.3f\n", bound)
+	// Output:
+	// S_chunk = 8 MiB
+	// n/k     = 1.333
+	// formula = 1.500
+}
+
+// Comparing a measurement against both bounds, as Table 3 does.
+func ExampleNewReport() {
+	rep, _ := wamodel.NewReport(64<<20, 12, 9, 4<<20, 1.76)
+	fmt.Printf("+%.1f%% vs n/k, +%.1f%% vs formula\n",
+		rep.DiffVsTheory*100, rep.DiffVsFormula*100)
+	// Output:
+	// +32.0% vs n/k, +17.3% vs formula
+}

@@ -1,0 +1,89 @@
+// Package wamodel implements the write-amplification formulas of §4.4:
+// the division-and-padding chunk size
+//
+//	S_chunk = S_unit * ceil(S_object / (k * S_unit))
+//
+// and the WA estimate
+//
+//	WA = (n * S_chunk + S_meta) / S_object
+//
+// which lower-bounds the measured OSD-level amplification when S_meta is
+// unknown (set to zero).
+package wamodel
+
+import "fmt"
+
+// ChunkSize returns S_chunk for an object of objectSize bytes under an
+// (n,k) code with the given stripe unit, applying Ceph's
+// division-and-padding policy: undersized chunks pad up to one stripe
+// unit; oversized chunks split into stripe-unit encoding units, the last
+// padded.
+func ChunkSize(objectSize int64, k int, stripeUnit int64) (int64, error) {
+	if objectSize < 0 || k <= 0 || stripeUnit <= 0 {
+		return 0, fmt.Errorf("wamodel: invalid arguments object=%d k=%d unit=%d", objectSize, k, stripeUnit)
+	}
+	if objectSize == 0 {
+		return 0, nil
+	}
+	units := (objectSize + int64(k)*stripeUnit - 1) / (int64(k) * stripeUnit)
+	return units * stripeUnit, nil
+}
+
+// TheoreticalWA is the textbook n/k storage overhead.
+func TheoreticalWA(n, k int) float64 {
+	return float64(n) / float64(k)
+}
+
+// EstimateWA evaluates the paper's formula for one object. metaBytes is
+// S_meta; pass 0 for the lower bound.
+func EstimateWA(objectSize int64, n, k int, stripeUnit, metaBytes int64) (float64, error) {
+	if n < k {
+		return 0, fmt.Errorf("wamodel: n=%d < k=%d", n, k)
+	}
+	chunk, err := ChunkSize(objectSize, k, stripeUnit)
+	if err != nil {
+		return 0, err
+	}
+	if objectSize == 0 {
+		return 0, nil
+	}
+	return (float64(n)*float64(chunk) + float64(metaBytes)) / float64(objectSize), nil
+}
+
+// LowerBoundWA is EstimateWA with S_meta = 0: computable from (n, k),
+// stripe unit and object size alone, and always a lower bound of the
+// measured Actual WA Factor.
+func LowerBoundWA(objectSize int64, n, k int, stripeUnit int64) (float64, error) {
+	return EstimateWA(objectSize, n, k, stripeUnit, 0)
+}
+
+// Report compares theory, the formula bound, and a measurement.
+type Report struct {
+	N, K          int
+	ObjectSize    int64
+	StripeUnit    int64
+	Theoretical   float64 // n/k
+	FormulaBound  float64 // paper formula with S_meta = 0
+	Measured      float64 // actual usage / write size
+	DiffVsTheory  float64 // (Measured - Theoretical) / Theoretical
+	DiffVsFormula float64 // (Measured - FormulaBound) / FormulaBound
+}
+
+// NewReport builds a Report from a measured actual WA factor.
+func NewReport(objectSize int64, n, k int, stripeUnit int64, measured float64) (Report, error) {
+	bound, err := LowerBoundWA(objectSize, n, k, stripeUnit)
+	if err != nil {
+		return Report{}, err
+	}
+	th := TheoreticalWA(n, k)
+	return Report{
+		N: n, K: k,
+		ObjectSize:    objectSize,
+		StripeUnit:    stripeUnit,
+		Theoretical:   th,
+		FormulaBound:  bound,
+		Measured:      measured,
+		DiffVsTheory:  (measured - th) / th,
+		DiffVsFormula: (measured - bound) / bound,
+	}, nil
+}

@@ -1,0 +1,123 @@
+package wamodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkSizePaperExamples(t *testing.T) {
+	// 64 MiB object, k=9, 4 MiB stripe unit: 2 units of 4 MiB -> 8 MiB.
+	c, err := ChunkSize(64<<20, 9, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 8<<20 {
+		t.Fatalf("chunk = %d, want %d", c, 8<<20)
+	}
+	// k=12: 64/(12*4) = 1.33 -> 2 units -> 8 MiB.
+	c, _ = ChunkSize(64<<20, 12, 4<<20)
+	if c != 8<<20 {
+		t.Fatalf("chunk = %d", c)
+	}
+	// Tiny object pads to one full stripe unit.
+	c, _ = ChunkSize(100, 9, 4096)
+	if c != 4096 {
+		t.Fatalf("chunk = %d", c)
+	}
+	// 4 KiB unit, 64 MiB object, k=9: ceil(64Mi/36Ki)=1821 units.
+	c, _ = ChunkSize(64<<20, 9, 4096)
+	if c != 1821*4096 {
+		t.Fatalf("chunk = %d, want %d", c, 1821*4096)
+	}
+}
+
+func TestChunkSizeValidation(t *testing.T) {
+	if _, err := ChunkSize(-1, 9, 4096); err == nil {
+		t.Fatal("negative object accepted")
+	}
+	if _, err := ChunkSize(1, 0, 4096); err == nil {
+		t.Fatal("zero k accepted")
+	}
+	if _, err := ChunkSize(1, 9, 0); err == nil {
+		t.Fatal("zero unit accepted")
+	}
+	c, err := ChunkSize(0, 9, 4096)
+	if err != nil || c != 0 {
+		t.Fatal("zero object should give zero chunk")
+	}
+}
+
+func TestTheoreticalWA(t *testing.T) {
+	if math.Abs(TheoreticalWA(12, 9)-1.3333) > 0.001 {
+		t.Fatal("RS(12,9) theory wrong")
+	}
+	if TheoreticalWA(15, 12) != 1.25 {
+		t.Fatal("RS(15,12) theory wrong")
+	}
+}
+
+func TestEstimateWAPaperShape(t *testing.T) {
+	// With 4 MiB units and 64 MiB objects the padding-only bound is 1.5
+	// for RS(12,9) and 1.875 for RS(15,12): both already above n/k,
+	// demonstrating the paper's point.
+	wa, err := LowerBoundWA(64<<20, 12, 9, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wa-1.5) > 1e-9 {
+		t.Fatalf("bound = %f", wa)
+	}
+	wa, _ = LowerBoundWA(64<<20, 15, 12, 4<<20)
+	if math.Abs(wa-1.875) > 1e-9 {
+		t.Fatalf("bound = %f", wa)
+	}
+	// Adding S_meta raises the estimate.
+	withMeta, _ := EstimateWA(64<<20, 12, 9, 4<<20, 17<<20)
+	if withMeta <= 1.5 {
+		t.Fatal("meta must increase the estimate")
+	}
+}
+
+func TestEstimateWAValidation(t *testing.T) {
+	if _, err := EstimateWA(100, 9, 12, 4096, 0); err == nil {
+		t.Fatal("n < k accepted")
+	}
+	wa, err := EstimateWA(0, 12, 9, 4096, 0)
+	if err != nil || wa != 0 {
+		t.Fatal("zero object should estimate 0")
+	}
+}
+
+func TestBoundIsAlwaysAtLeastTheory(t *testing.T) {
+	f := func(objRaw uint32, kRaw, mRaw, unitRaw uint8) bool {
+		object := int64(objRaw%(256<<20)) + 1
+		k := int(kRaw%16) + 1
+		n := k + int(mRaw%4) + 1
+		unit := int64(1) << (unitRaw % 24)
+		bound, err := LowerBoundWA(object, n, k, unit)
+		if err != nil {
+			return false
+		}
+		return bound >= TheoreticalWA(n, k)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewReport(t *testing.T) {
+	r, err := NewReport(64<<20, 12, 9, 4<<20, 1.76)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.DiffVsTheory-0.32) > 0.01 {
+		t.Fatalf("DiffVsTheory = %f, want ~0.32 (Table 3)", r.DiffVsTheory)
+	}
+	if r.DiffVsFormula >= r.DiffVsTheory {
+		t.Fatal("formula must be a tighter bound than n/k")
+	}
+	if _, err := NewReport(1, 3, 9, 1, 1); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
