@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	ecbench [-scale N] [-only fig2a,fig2b,fig2c,fig2d,fig3,table3,wa]
+//	ecbench [-scale N] [-workers N] [-only fig2a,fig2b,fig2c,fig2d,fig3,table3,wa]
 //
 // Scale divides the 10,000-object workload; the normalized shapes are
 // stable across scales, so -scale 20 gives a fast faithful run.
+// Independent experiment cells run concurrently; -workers (or the
+// ECFAULT_WORKERS environment variable) bounds the pool, with -workers 1
+// forcing the serial order.
 package main
 
 import (
@@ -18,16 +21,21 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
 
 func main() {
 	scale := flag.Int("scale", 10, "divide the paper workload by this factor")
+	workers := flag.Int("workers", 0, "concurrent experiment cells (0 = ECFAULT_WORKERS or NumCPU)")
 	only := flag.String("only", "", "comma-separated subset: fig2a,fig2b,fig2c,fig2d,fig3,table3,wa,plugins")
 	bars := flag.Bool("bars", false, "render figures as ASCII bar charts")
 	compare := flag.Bool("compare", false, "append paper-vs-measured deltas to each figure")
 	jsonOut := flag.Bool("json", false, "emit all results as JSON instead of text")
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var collected = map[string]any{}
 	emitFigure := func(fig *experiments.Figure) {

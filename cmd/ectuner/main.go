@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ectuner [-objective balanced|min-recovery-time|min-write-amplification|max-durability]
-//	        [-greedy] [-scale N] [-top K] [-json]
+//	        [-greedy] [-scale N] [-workers N] [-top K] [-json]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/tuner"
 )
 
@@ -25,9 +26,13 @@ func main() {
 	objective := flag.String("objective", "balanced", "min-recovery-time | min-write-amplification | max-durability | balanced")
 	greedy := flag.Bool("greedy", false, "coordinate descent instead of full grid")
 	scale := flag.Int("scale", 50, "workload scale divisor")
+	workers := flag.Int("workers", 0, "concurrent candidate evaluations (0 = ECFAULT_WORKERS or NumCPU)")
 	top := flag.Int("top", 10, "ranked candidates to print")
 	jsonOut := flag.Bool("json", false, "emit results as JSON")
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	obj, err := parseObjective(*objective)
 	if err != nil {

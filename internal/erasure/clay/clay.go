@@ -22,9 +22,9 @@ package clay
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/erasure"
+	"repro/internal/erasure/kernel"
 	"repro/internal/gf256"
 	"repro/internal/gfmat"
 )
@@ -46,11 +46,22 @@ type Clay struct {
 
 	base *gfmat.Matrix // nt x kInt MDS generator for the uncoupled planes
 
-	invGamma2 byte // (1 + gamma^2)^-1, used by the reverse transform
+	// The pairwise coupling transforms, compiled once into two-source row
+	// kernels (both inputs stream through the word-wide gf256 kernel
+	// instead of per-byte table lookups):
+	//
+	//	pairRow:     U1 = C1/(1+gamma^2) + gamma*C2/(1+gamma^2)
+	//	coupleRow:   C1 = U1 + gamma*U2
+	//	uncoupleRow: U2 = C1/gamma + U1/gamma
+	pairRow, coupleRow, uncoupleRow *gf256.RowPlan
 
-	mu        sync.Mutex
-	decodeLRU map[string]*gfmat.Matrix
+	decodeLRU *kernel.LRU[*planeSolver] // erased-node mask -> compiled plane solver
 }
+
+// decodeCacheSize bounds the plane-solver cache; a cluster sees few
+// distinct erasure patterns at once, so this keeps hits near 1 with real
+// LRU eviction instead of the old wipe-when-big map.
+const decodeCacheSize = 256
 
 // New constructs a Clay(k+m, k, d) code. Only the repair-optimal
 // configuration d = k+m-1 is supported (Ceph's default); other values
@@ -81,15 +92,18 @@ func New(k, m, d int) (*Clay, error) {
 	if nt > 256 {
 		return nil, fmt.Errorf("clay: internal width %d exceeds GF(2^8) limit", nt)
 	}
-	g2 := gf256.Mul(gamma, gamma) ^ 1
+	invG2 := gf256.Inv(gf256.Mul(gamma, gamma) ^ 1)
+	invG := gf256.Inv(gamma)
 	c := &Clay{
 		k: k, m: m, d: d,
 		q: q, t: t, nt: nt, kInt: nt - q,
 		alpha: alpha, beta: alpha / q,
-		pow:       pow,
-		base:      gfmat.Cauchy(nt, nt-q),
-		invGamma2: gf256.Inv(g2),
-		decodeLRU: map[string]*gfmat.Matrix{},
+		pow:         pow,
+		base:        gfmat.Cauchy(nt, nt-q),
+		pairRow:     gf256.CompileRow([]byte{invG2, gf256.Mul(invG2, gamma)}),
+		coupleRow:   gf256.CompileRow([]byte{1, gamma}),
+		uncoupleRow: gf256.CompileRow([]byte{invG, invG}),
+		decodeLRU:   kernel.NewLRU[*planeSolver](decodeCacheSize),
 	}
 	return c, nil
 }
@@ -158,15 +172,13 @@ func (c *Clay) setDigit(z, y, v int) int {
 	return z + (v-old)*c.pow[c.t-1-y]
 }
 
-// pairU converts a coupled pair to this vertex's uncoupled value:
-// U1 = (C1 + gamma*C2) / (1 + gamma^2).
-func (c *Clay) pairU(c1, c2 byte) byte {
-	return gf256.Mul(c.invGamma2, c1^gf256.Mul(gamma, c2))
+// mulPair applies a compiled two-source transform: dst = plan(a, b). The
+// scratch pair slice avoids a per-call header allocation on the plane hot
+// loops.
+func mulPair(plan *gf256.RowPlan, pair [][]byte, a, b, dst []byte) {
+	pair[0], pair[1] = a, b
+	plan.Mul(pair, dst)
 }
-
-// coupleC converts a pair of uncoupled values back to this vertex's
-// coupled value: C1 = U1 + gamma*U2.
-func coupleC(u1, u2 byte) byte { return u1 ^ gf256.Mul(gamma, u2) }
 
 // Encode implements erasure.Code. Encoding is performed as a decode with
 // the m parity chunks treated as erasures, the same strategy the Ceph
@@ -253,15 +265,16 @@ func (c *Clay) Decode(shards [][]byte) error {
 		return err
 	}
 
+	srcs := make([][]byte, len(dec.survivors))
+	dsts := make([][]byte, len(dec.lost))
 	for s := 0; s <= c.t; s++ {
 		for _, z := range byScore[s] {
-			if err := c.decodePlane(z, erased, C, U, dec, scs); err != nil {
-				return err
-			}
+			c.decodePlane(z, erased, C, U, dec, scs, srcs, dsts)
 		}
 	}
 
 	// All U known everywhere; convert U -> C for the erased nodes.
+	pair := make([][]byte, 2)
 	for u := 0; u < c.nt; u++ {
 		if !erased[u] {
 			continue
@@ -274,12 +287,10 @@ func (c *Clay) Decode(shards [][]byte) error {
 				copy(dst, U[u][off:off+scs])
 				continue
 			}
-			comp := c.digit(z, y)*1 + y*c.q // companion node (z_y, y)
+			comp := c.digit(z, y) + y*c.q // companion node (z_y, y)
 			zc := c.setDigit(z, y, x)
 			co := zc * scs
-			for b := 0; b < scs; b++ {
-				dst[b] = coupleC(U[u][off+b], U[comp][co+b])
-			}
+			mulPair(c.coupleRow, pair, U[u][off:off+scs], U[comp][co:co+scs], dst)
 		}
 	}
 	return nil
@@ -301,55 +312,60 @@ func (c *Clay) intersectionScore(z int, erased []bool) int {
 	return s
 }
 
-// planeDecoder returns the kInt x kInt inverse used to solve a plane's
-// uncoupled MDS codeword for the erased nodes, memoized per erasure set.
+// planeDecoder returns the compiled solver recovering a plane's erased
+// uncoupled symbols from its first kInt survivors, memoized per erasure
+// set in the bounded LRU (the whole compiled solver is cached, where the
+// old map kept only the inverse and rebuilt the reconstruction rows on
+// every call).
 func (c *Clay) planeDecoder(erased []bool) (*planeSolver, error) {
-	key := fmt.Sprint(erased)
-	c.mu.Lock()
-	cached, ok := c.decodeLRU[key]
-	c.mu.Unlock()
-	var inv *gfmat.Matrix
-	survivors := make([]int, 0, c.kInt)
-	var lost []int
-	for u := 0; u < c.nt; u++ {
-		if erased[u] {
-			lost = append(lost, u)
-		} else if len(survivors) < c.kInt {
-			survivors = append(survivors, u)
+	return c.decodeLRU.GetOrCompute(kernel.MaskOfBools(erased), func() (*planeSolver, error) {
+		survivors := make([]int, 0, c.kInt)
+		var lost []int
+		for u := 0; u < c.nt; u++ {
+			if erased[u] {
+				lost = append(lost, u)
+			} else if len(survivors) < c.kInt {
+				survivors = append(survivors, u)
+			}
 		}
-	}
-	if ok {
-		inv = cached
-	} else {
 		sub := c.base.SubMatrix(survivors)
-		var err error
-		inv, err = sub.Invert()
+		inv, err := sub.Invert()
 		if err != nil {
 			return nil, fmt.Errorf("clay: plane decode matrix: %w", err)
 		}
-		c.mu.Lock()
-		if len(c.decodeLRU) > 256 {
-			c.decodeLRU = map[string]*gfmat.Matrix{}
+		// rows[i] = generator row of lost node i times inv: maps survivor
+		// symbols directly to the lost symbol.
+		rows := make([][]byte, len(lost))
+		for i, l := range lost {
+			rows[i] = c.base.SubMatrix([]int{l}).Mul(inv).Row(0)
 		}
-		c.decodeLRU[key] = inv
-		c.mu.Unlock()
-	}
-	// lostRows[i] = generator row of lost node i times inv: maps survivor
-	// symbols directly to the lost symbol.
-	solver := &planeSolver{survivors: survivors, lost: lost}
-	for _, l := range lost {
-		row := c.base.SubMatrix([]int{l}).Mul(inv)
-		solver.lostRows = append(solver.lostRows, row.Row(0))
-	}
-	return solver, nil
+		return &planeSolver{survivors: survivors, lost: lost, prog: kernel.Compile(rows)}, nil
+	})
 }
 
 // planeSolver recovers erased uncoupled symbols within one plane from the
 // first kInt surviving symbols.
 type planeSolver struct {
-	survivors []int    // kInt surviving node indices used as inputs
-	lost      []int    // erased node indices
-	lostRows  [][]byte // coefficients mapping survivor symbols to each lost symbol
+	survivors []int // kInt surviving node indices used as inputs
+	lost      []int // erased node indices
+	prog      *kernel.Program
+}
+
+// solve runs the plane's MDS reconstruction: for each lost node, its U
+// sub-slice (select(lost node)) is overwritten with the combination of the
+// survivor sub-slices. srcs/dsts are caller scratch of lengths
+// len(survivors) and len(lost).
+func (dec *planeSolver) solve(srcs, dsts [][]byte, sel func(u int) []byte) {
+	if len(dec.lost) == 0 {
+		return
+	}
+	for si, sv := range dec.survivors {
+		srcs[si] = sel(sv)
+	}
+	for li, l := range dec.lost {
+		dsts[li] = sel(l)
+	}
+	dec.prog.Run(srcs, dsts, true)
 }
 
 // decodePlane computes U for every node in plane z. Survivor U values come
@@ -357,8 +373,10 @@ type planeSolver struct {
 // or companion U from an already-processed lower-score plane when the
 // companion node is erased); erased U values come from the per-plane MDS
 // solve.
-func (c *Clay) decodePlane(z int, erased []bool, C, U [][]byte, dec *planeSolver, scs int) error {
+func (c *Clay) decodePlane(z int, erased []bool, C, U [][]byte, dec *planeSolver, scs int, srcs, dsts [][]byte) {
 	off := z * scs
+	var pairBuf [2][]byte
+	pair := pairBuf[:]
 	for u := 0; u < c.nt; u++ {
 		if erased[u] {
 			continue
@@ -375,31 +393,15 @@ func (c *Clay) decodePlane(z int, erased []bool, C, U [][]byte, dec *planeSolver
 		co := zc * scs
 		if !erased[comp] {
 			// Both coupled symbols are available.
-			c1 := C[u][off : off+scs]
-			c2 := C[comp][co : co+scs]
-			for b := 0; b < scs; b++ {
-				dst[b] = c.pairU(c1[b], c2[b])
-			}
+			mulPair(c.pairRow, pair, C[u][off:off+scs], C[comp][co:co+scs], dst)
 		} else {
 			// Companion plane has score-1 and is already solved:
 			// U1 = C1 + gamma * U2.
-			c1 := C[u][off : off+scs]
-			u2 := U[comp][co : co+scs]
-			for b := 0; b < scs; b++ {
-				dst[b] = coupleC(c1[b], u2[b])
-			}
+			mulPair(c.coupleRow, pair, C[u][off:off+scs], U[comp][co:co+scs], dst)
 		}
 	}
 	// Solve for erased U values from the plane's MDS codeword.
-	for li, l := range dec.lost {
-		dst := U[l][off : off+scs]
-		clear(dst)
-		row := dec.lostRows[li]
-		for si, sv := range dec.survivors {
-			gf256.MulAddSlice(row[si], U[sv][off:off+scs], dst)
-		}
-	}
-	return nil
+	dec.solve(srcs, dsts, func(u int) []byte { return U[u][off : off+scs] })
 }
 
 // repairPlanes returns the plane indices intersecting internal node u0.
@@ -545,6 +547,11 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 	for u := range uPlane {
 		uPlane[u] = make([]byte, scs)
 	}
+	srcs := make([][]byte, len(dec.survivors))
+	dsts := make([][]byte, len(dec.lost))
+	u2 := make([]byte, scs)
+	var pairBuf [2][]byte
+	pair := pairBuf[:]
 
 	for _, z := range planes {
 		// Step 1: U for all nodes outside column y0.
@@ -560,21 +567,10 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 			}
 			comp := zy + y*c.q
 			zc := c.setDigit(z, y, x)
-			c1 := readC(u, z)
-			c2 := readC(comp, zc)
-			for b := 0; b < scs; b++ {
-				uPlane[u][b] = c.pairU(c1[b], c2[b])
-			}
+			mulPair(c.pairRow, pair, readC(u, z), readC(comp, zc), uPlane[u])
 		}
 		// Step 2: MDS-solve the q unknowns of column y0.
-		for li, l := range dec.lost {
-			dst := uPlane[l]
-			clear(dst)
-			row := dec.lostRows[li]
-			for si, sv := range dec.survivors {
-				gf256.MulAddSlice(row[si], uPlane[sv], dst)
-			}
-		}
+		dec.solve(srcs, dsts, func(u int) []byte { return uPlane[u] })
 		// Step 3: the failed node's sub-chunk in this plane is unpaired:
 		// C = U.
 		copy(out[z*scs:(z+1)*scs], uPlane[u0])
@@ -588,17 +584,9 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 			us := x + y0*c.q // surviving node (x, y0)
 			w := c.setDigit(z, y0, x)
 			// U2 = U(x0,y0,w) = (C(x,y0,z) - U(x,y0,z)) / gamma
-			cs := readC(us, z)
-			u2 := make([]byte, scs)
-			ig := gf256.Inv(gamma)
-			for b := 0; b < scs; b++ {
-				u2[b] = gf256.Mul(ig, cs[b]^uPlane[us][b])
-			}
+			mulPair(c.uncoupleRow, pair, readC(us, z), uPlane[us], u2)
 			// C(x0,y0,w) = U(x0,y0,w) + gamma * U(x,y0,z)
-			dst := out[w*scs : (w+1)*scs]
-			for b := 0; b < scs; b++ {
-				dst[b] = coupleC(u2[b], uPlane[us][b])
-			}
+			mulPair(c.coupleRow, pair, u2, uPlane[us], out[w*scs:(w+1)*scs])
 		}
 	}
 	shards[failedExt] = out

@@ -1,0 +1,99 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/erasure"
+
+	_ "repro/internal/erasure/clay"
+	_ "repro/internal/erasure/lrc"
+	_ "repro/internal/erasure/reedsolomon"
+	_ "repro/internal/erasure/shec"
+)
+
+// benchCodes are the geometries benchmarked per plugin. RS(12,9) is the
+// paper's headline code and the acceptance target for encode throughput.
+var benchCodes = []struct {
+	label   string
+	plugin  string
+	k, m, d int
+}{
+	{"rs_12_9", "jerasure_reed_sol_van", 9, 3, 0},
+	{"cauchy_12_9", "jerasure_cauchy_orig", 9, 3, 0},
+	{"clay_12_9", "clay", 9, 3, 11},
+	{"lrc_14_9", "lrc", 9, 3, 3},
+	{"shec_14_9", "shec", 9, 5, 3},
+}
+
+// benchSizes are shard sizes from 4 KiB to 1 MiB, rounded up to the code's
+// sub-chunk count at setup.
+var benchSizes = []int{4 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+func benchShards(code erasure.Code, size int) [][]byte {
+	size = roundUp(size, code.SubChunks())
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, code.N())
+	for i := 0; i < code.K(); i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	return shards
+}
+
+// BenchmarkKernelEncode measures full-stripe encode throughput per plugin
+// and shard size. Throughput counts data bytes encoded (k * shard).
+func BenchmarkKernelEncode(b *testing.B) {
+	for _, bc := range benchCodes {
+		code, err := erasure.New(bc.plugin, bc.k, bc.m, bc.d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range benchSizes {
+			shards := benchShards(code, size)
+			if err := code.Encode(shards); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%dKiB", bc.label, size>>10), func(b *testing.B) {
+				b.SetBytes(int64(code.K() * len(shards[0])))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := code.Encode(shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKernelRepair measures single-shard repair (shard 1: a data
+// shard for every geometry) per plugin and shard size. Throughput counts
+// the bytes of the repaired shard.
+func BenchmarkKernelRepair(b *testing.B) {
+	for _, bc := range benchCodes {
+		code, err := erasure.New(bc.plugin, bc.k, bc.m, bc.d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range benchSizes {
+			shards := benchShards(code, size)
+			if err := code.Encode(shards); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%dKiB", bc.label, size>>10), func(b *testing.B) {
+				b.SetBytes(int64(len(shards[0])))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					work := make([][]byte, len(shards))
+					copy(work, shards)
+					work[1] = nil
+					if err := code.Repair(work, []int{1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -9,8 +9,8 @@ package gensolve
 import (
 	"errors"
 	"fmt"
-	"sync"
 
+	"repro/internal/erasure/kernel"
 	"repro/internal/gf256"
 	"repro/internal/gfmat"
 )
@@ -18,7 +18,14 @@ import (
 // ErrUndecodable is returned when the surviving rows do not span the data.
 var ErrUndecodable = errors.New("gensolve: erasure pattern not decodable")
 
-// Solver expresses lost shards over a set of surviving input shards.
+// solverCacheSize bounds the per-generator pattern cache. Fault-injection
+// sweeps revisit a small set of patterns, so a real LRU at this size keeps
+// the hit rate near 1 without the old unbounded-then-wiped map behavior.
+const solverCacheSize = 512
+
+// Solver expresses lost shards over a set of surviving input shards. The
+// reconstruction rows are compiled into a kernel program at build time, so
+// Apply is a single program execution per stripe.
 type Solver struct {
 	// Inputs are the surviving shard indices the solution reads.
 	Inputs []int
@@ -26,18 +33,31 @@ type Solver struct {
 	Lost []int
 	// LostRows[i] are the coefficients over Inputs reconstructing Lost[i].
 	LostRows [][]byte
+
+	prog *kernel.Program
 }
 
 // Apply reconstructs the lost shards in place. Input shards must be
 // non-nil and equally sized.
 func (s *Solver) Apply(shards [][]byte, size int) {
-	for li, lost := range s.Lost {
-		buf := make([]byte, size)
-		row := s.LostRows[li]
-		for j, src := range s.Inputs {
-			gf256.MulAddSlice(row[j], shards[src], buf)
-		}
-		shards[lost] = buf
+	if len(s.Lost) == 0 {
+		return
+	}
+	if s.prog == nil {
+		// Solvers built by hand in tests compile on first use.
+		s.prog = kernel.Compile(s.LostRows)
+	}
+	srcs := make([][]byte, len(s.Inputs))
+	for j, src := range s.Inputs {
+		srcs[j] = shards[src]
+	}
+	dsts := make([][]byte, len(s.Lost))
+	for i := range dsts {
+		dsts[i] = make([]byte, size)
+	}
+	s.prog.Run(srcs, dsts, true)
+	for i, lost := range s.Lost {
+		shards[lost] = dsts[i]
 	}
 }
 
@@ -46,13 +66,12 @@ type Cache struct {
 	gen *gfmat.Matrix
 	k   int
 
-	mu  sync.Mutex
-	lru map[string]*Solver
+	lru *kernel.LRU[*Solver]
 }
 
 // NewCache wraps a generator matrix (n rows, k columns).
 func NewCache(gen *gfmat.Matrix) *Cache {
-	return &Cache{gen: gen, k: gen.Cols, lru: map[string]*Solver{}}
+	return &Cache{gen: gen, k: gen.Cols, lru: kernel.NewLRU[*Solver](solverCacheSize)}
 }
 
 // Solver returns the decode solution for the given erasure flags (length
@@ -61,14 +80,12 @@ func (c *Cache) Solver(erased []bool) (*Solver, error) {
 	if len(erased) != c.gen.Rows {
 		return nil, fmt.Errorf("gensolve: erased mask has %d entries, want %d", len(erased), c.gen.Rows)
 	}
-	key := fmt.Sprint(erased)
-	c.mu.Lock()
-	if s, ok := c.lru[key]; ok {
-		c.mu.Unlock()
-		return s, nil
-	}
-	c.mu.Unlock()
+	return c.lru.GetOrCompute(kernel.MaskOfBools(erased), func() (*Solver, error) {
+		return c.build(erased)
+	})
+}
 
+func (c *Cache) build(erased []bool) (*Solver, error) {
 	var surviving, lost []int
 	for i := 0; i < c.gen.Rows; i++ {
 		if erased[i] {
@@ -90,12 +107,7 @@ func (c *Cache) Solver(erased []bool) (*Solver, error) {
 		row := c.gen.SubMatrix([]int{li}).Mul(inv)
 		s.LostRows = append(s.LostRows, row.Row(0))
 	}
-	c.mu.Lock()
-	if len(c.lru) > 512 {
-		c.lru = map[string]*Solver{}
-	}
-	c.lru[key] = s
-	c.mu.Unlock()
+	s.prog = kernel.Compile(s.LostRows)
 	return s, nil
 }
 

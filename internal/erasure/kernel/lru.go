@@ -1,0 +1,199 @@
+// Package kernel compiles erasure-code matrices into executable coding
+// programs and provides the shared survivor-pattern cache used by the
+// matrix codecs.
+//
+// A Program is a set of gf256 row plans compiled once from a generator or
+// decode matrix; Run executes it over stripe shards in cache-friendly
+// bands, optionally fanning contiguous shard ranges out to a bounded
+// worker pool. The LRU replaces the ad-hoc "wipe the map when it gets
+// big" pseudo-caches that previously lived in each codec: it has real
+// eviction order, a hard capacity, and an allocation-free lookup path
+// keyed by survivor bitmask.
+package kernel
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Mask is a bitmask over shard (or sub-chunk row) indices, used as the
+// cache key for erasure/survivor patterns. 256 bits covers the largest
+// index space any codec here produces (GF(2^8) caps n at 256, and Clay's
+// internal row space q*t stays under that).
+type Mask [4]uint64
+
+// MaskOf returns the mask with the given bits set. Indices outside
+// [0, 256) panic: a key that silently dropped bits would alias distinct
+// erasure patterns.
+func MaskOf(indices ...int) Mask {
+	var m Mask
+	for _, i := range indices {
+		m.Set(i)
+	}
+	return m
+}
+
+// MaskOfBools returns the mask with bit i set wherever flags[i] is true.
+func MaskOfBools(flags []bool) Mask {
+	var m Mask
+	for i, f := range flags {
+		if f {
+			m.Set(i)
+		}
+	}
+	return m
+}
+
+// Set sets bit i.
+func (m *Mask) Set(i int) {
+	if i < 0 || i >= 256 {
+		panic("kernel: mask index out of range")
+	}
+	m[i>>6] |= 1 << (i & 63)
+}
+
+// Has reports whether bit i is set.
+func (m Mask) Has(i int) bool {
+	if i < 0 || i >= 256 {
+		return false
+	}
+	return m[i>>6]&(1<<(i&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (m Mask) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1]) +
+		bits.OnesCount64(m[2]) + bits.OnesCount64(m[3])
+}
+
+// lruEntry is an intrusive doubly-linked node in recency order.
+type lruEntry[V any] struct {
+	key        Mask
+	val        V
+	prev, next *lruEntry[V]
+}
+
+// LRU is a bounded map from Mask keys to values with least-recently-used
+// eviction. It is safe for concurrent use. Get performs no allocations,
+// so cache hits on the decode hot path cost a mutex and a map lookup.
+type LRU[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Mask]*lruEntry[V]
+	head     *lruEntry[V] // most recently used
+	tail     *lruEntry[V] // least recently used
+}
+
+// NewLRU returns an LRU holding at most capacity entries. capacity < 1
+// panics.
+func NewLRU[V any](capacity int) *LRU[V] {
+	if capacity < 1 {
+		panic("kernel: LRU capacity must be positive")
+	}
+	return &LRU[V]{capacity: capacity, entries: make(map[Mask]*lruEntry[V], capacity)}
+}
+
+// Get returns the value for key and promotes it to most recently used.
+func (l *LRU[V]) Get(key Mask) (V, bool) {
+	l.mu.Lock()
+	e, ok := l.entries[key]
+	if !ok {
+		l.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(e)
+	v := e.val
+	l.mu.Unlock()
+	return v, true
+}
+
+// Put inserts or updates key, promoting it to most recently used, and
+// evicts the least recently used entry when over capacity.
+func (l *LRU[V]) Put(key Mask, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[key]; ok {
+		e.val = val
+		l.moveToFront(e)
+		return
+	}
+	e := &lruEntry[V]{key: key, val: val}
+	l.entries[key] = e
+	l.pushFront(e)
+	if len(l.entries) > l.capacity {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.entries, evict.key)
+	}
+}
+
+// GetOrCompute returns the cached value for key, or computes, caches, and
+// returns it. The compute function runs without the cache lock, so
+// concurrent callers may compute the same value; the first Put wins and
+// later ones refresh it, which is harmless for the immutable values
+// cached here.
+func (l *LRU[V]) GetOrCompute(key Mask, compute func() (V, error)) (V, error) {
+	if v, ok := l.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	l.Put(key, v)
+	return v, nil
+}
+
+// Len returns the current entry count.
+func (l *LRU[V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Keys returns the keys from most to least recently used (for tests).
+func (l *LRU[V]) Keys() []Mask {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]Mask, 0, len(l.entries))
+	for e := l.head; e != nil; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}
+
+func (l *LRU[V]) pushFront(e *lruEntry[V]) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *LRU[V]) unlink(e *lruEntry[V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *LRU[V]) moveToFront(e *lruEntry[V]) {
+	if l.head == e {
+		return
+	}
+	l.unlink(e)
+	l.pushFront(e)
+}

@@ -1,0 +1,119 @@
+package kernel
+
+import (
+	"testing"
+)
+
+func TestMaskBasics(t *testing.T) {
+	m := MaskOf(0, 63, 64, 200)
+	for _, i := range []int{0, 63, 64, 200} {
+		if !m.Has(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if m.Has(1) || m.Has(255) {
+		t.Fatal("unexpected bits set")
+	}
+	if m.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", m.Count())
+	}
+	b := MaskOfBools([]bool{true, false, true})
+	if b != MaskOf(0, 2) {
+		t.Fatalf("MaskOfBools mismatch: %v", b)
+	}
+}
+
+func TestMaskOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(256) did not panic")
+		}
+	}()
+	var m Mask
+	m.Set(256)
+}
+
+// TestLRUEvictionOrder checks true least-recently-used behavior: Get
+// promotes, Put evicts from the cold end, and the eviction order reflects
+// accesses rather than insertion alone.
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU[int](3)
+	k := func(i int) Mask { return MaskOf(i) }
+	l.Put(k(1), 1)
+	l.Put(k(2), 2)
+	l.Put(k(3), 3)
+
+	// Touch 1 so 2 becomes the coldest entry.
+	if v, ok := l.Get(k(1)); !ok || v != 1 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+	l.Put(k(4), 4) // evicts 2
+	if _, ok := l.Get(k(2)); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	for _, i := range []int{1, 3, 4} {
+		if _, ok := l.Get(k(i)); !ok {
+			t.Fatalf("%d should still be cached", i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+
+	// Recency order after the gets above: 4 was inserted, then 1, 3, 4
+	// were touched in that order -> head is 4, tail is 1.
+	keys := l.Keys()
+	if keys[0] != k(4) || keys[2] != k(1) {
+		t.Fatalf("unexpected recency order: %v", keys)
+	}
+
+	// Updating an existing key must not evict.
+	l.Put(k(3), 33)
+	if l.Len() != 3 {
+		t.Fatalf("Len after update = %d, want 3", l.Len())
+	}
+	if v, _ := l.Get(k(3)); v != 33 {
+		t.Fatalf("update lost: %d", v)
+	}
+}
+
+// TestLRUGetAllocs locks in the allocation-free lookup path: neither hits
+// nor misses may allocate, in particular the Mask key must not escape to
+// the heap the way the old fmt.Sprint keys did.
+func TestLRUGetAllocs(t *testing.T) {
+	l := NewLRU[*int](8)
+	v := 42
+	hit := MaskOf(1, 9, 17)
+	miss := MaskOf(2, 200)
+	l.Put(hit, &v)
+
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := l.Get(hit); !ok {
+			t.Fatal("expected hit")
+		}
+	}); n != 0 {
+		t.Fatalf("Get (hit) allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := l.Get(miss); ok {
+			t.Fatal("expected miss")
+		}
+	}); n != 0 {
+		t.Fatalf("Get (miss) allocates %v times per call, want 0", n)
+	}
+}
+
+func TestLRUGetOrCompute(t *testing.T) {
+	l := NewLRU[int](2)
+	calls := 0
+	f := func() (int, error) { calls++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := l.GetOrCompute(MaskOf(5), f)
+		if err != nil || v != 7 {
+			t.Fatalf("GetOrCompute = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}

@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"repro/internal/gf256"
+	"repro/internal/parallel"
+)
+
+// chunkBytes is the stripe range a worker (or the serial loop) processes
+// per pass over all output rows. Within one chunk every output row reads
+// the same source window, so for multi-parity codes the sources are
+// fetched from memory once per chunk instead of once per row. 16 KiB
+// keeps k source windows L2-resident for the geometries in the paper.
+const chunkBytes = 16 << 10
+
+// parallelThreshold is the minimum total output work (rows x bytes) worth
+// fanning out to the worker pool; below it goroutine handoff dominates.
+const parallelThreshold = 64 << 10
+
+// Program is a coding matrix compiled into executable row plans: one plan
+// per output row, each mapping the same source shard slots to one
+// destination. Programs are immutable after Compile and safe for
+// concurrent use.
+type Program struct {
+	plans []*gf256.RowPlan
+	width int
+}
+
+// Compile compiles one coefficient row per output. All rows must have the
+// same width (number of source slots).
+func Compile(rows [][]byte) *Program {
+	p := &Program{plans: make([]*gf256.RowPlan, len(rows))}
+	for i, row := range rows {
+		if i == 0 {
+			p.width = len(row)
+		} else if len(row) != p.width {
+			panic("kernel: ragged coding matrix")
+		}
+		p.plans[i] = gf256.CompileRow(row)
+	}
+	return p
+}
+
+// CompileMatrix is Compile for callers holding a flat row accessor.
+func CompileMatrix(n int, row func(i int) []byte) *Program {
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = row(i)
+	}
+	return Compile(rows)
+}
+
+// Rows returns the number of output rows.
+func (p *Program) Rows() int { return len(p.plans) }
+
+// Width returns the number of source slots per row.
+func (p *Program) Width() int { return p.width }
+
+// Plan returns the compiled plan for output row i (for single-row
+// callers such as repair paths).
+func (p *Program) Plan(i int) *gf256.RowPlan { return p.plans[i] }
+
+// Run executes the program: for every output row i,
+//
+//	dsts[i] = Σ_j rows[i][j] * srcs[j]   (overwrite)
+//	dsts[i] ^= ...                       (accumulate)
+//
+// Sources under all-zero columns may be nil; every other slice must have
+// equal length. The stripe is processed in chunks, all rows per chunk, so
+// source windows are fetched once per chunk. When the worker budget
+// (parallel.Workers) allows and the stripe is large enough, contiguous
+// chunk ranges fan out to a bounded pool; the output is byte-identical to
+// the serial pass because every output byte depends only on the same byte
+// offset of the sources.
+func (p *Program) Run(srcs, dsts [][]byte, overwrite bool) {
+	p.run(srcs, dsts, overwrite, parallel.Workers())
+}
+
+// RunSerial executes the program on the calling goroutine regardless of
+// the worker budget.
+func (p *Program) RunSerial(srcs, dsts [][]byte, overwrite bool) {
+	p.run(srcs, dsts, overwrite, 1)
+}
+
+// RunParallel executes the program with an explicit worker count (tests
+// use this to force the pool on single-core machines).
+func (p *Program) RunParallel(srcs, dsts [][]byte, overwrite bool, workers int) {
+	p.run(srcs, dsts, overwrite, workers)
+}
+
+func (p *Program) run(srcs, dsts [][]byte, overwrite bool, workers int) {
+	if len(dsts) != len(p.plans) {
+		panic("kernel: destination count does not match program rows")
+	}
+	if len(p.plans) == 0 {
+		return
+	}
+	if len(srcs) != p.width {
+		panic("kernel: source count does not match program width")
+	}
+	size := len(dsts[0])
+	if workers > 1 && len(p.plans)*size >= parallelThreshold {
+		nChunks := (size + chunkBytes - 1) / chunkBytes
+		if workers > nChunks {
+			workers = nChunks
+		}
+		// Split the stripe into one contiguous, word-aligned range per
+		// worker so each range stays a sequential stream.
+		per := (nChunks + workers - 1) / workers * chunkBytes
+		parallel.ForEach(workers, workers, func(w int) {
+			off := w * per
+			end := off + per
+			if end > size {
+				end = size
+			}
+			if off >= end {
+				return
+			}
+			p.runRange(srcs, dsts, off, end, overwrite)
+		})
+		return
+	}
+	p.runRange(srcs, dsts, 0, size, overwrite)
+}
+
+// runRange processes dst bytes [off, end) chunk by chunk, all rows per
+// chunk.
+func (p *Program) runRange(srcs, dsts [][]byte, off, end int, overwrite bool) {
+	for off < end {
+		n := end - off
+		if n > chunkBytes {
+			n = chunkBytes
+		}
+		for i, plan := range p.plans {
+			plan.Apply(srcs, dsts[i], off, off+n, overwrite)
+		}
+		off += n
+	}
+}

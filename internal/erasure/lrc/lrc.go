@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/erasure/gensolve"
+	"repro/internal/erasure/kernel"
 	"repro/internal/gf256"
 	"repro/internal/gfmat"
 )
@@ -26,7 +27,8 @@ import (
 type LRC struct {
 	k, l, g   int
 	groupSize int
-	gen       *gfmat.Matrix // n x k generator
+	gen       *gfmat.Matrix   // n x k generator
+	enc       *kernel.Program // parity rows of gen, compiled once
 
 	solvers *gensolve.Cache
 }
@@ -64,7 +66,11 @@ func New(k, l, g int) (*LRC, error) {
 			gen.Set(row, j, gf256.Inv(x^byte(j)^0x80))
 		}
 	}
-	return &LRC{k: k, l: l, g: g, groupSize: groupSize, gen: gen, solvers: gensolve.NewCache(gen)}, nil
+	return &LRC{
+		k: k, l: l, g: g, groupSize: groupSize, gen: gen,
+		enc:     kernel.CompileMatrix(l+g, func(i int) []byte { return gen.Row(k + i) }),
+		solvers: gensolve.NewCache(gen),
+	}, nil
 }
 
 func init() {
@@ -144,14 +150,9 @@ func (c *LRC) Encode(shards [][]byte) error {
 	for i := c.k; i < n; i++ {
 		if shards[i] == nil || len(shards[i]) != size {
 			shards[i] = make([]byte, size)
-		} else {
-			clear(shards[i])
-		}
-		row := c.gen.Row(i)
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(row[j], shards[j], shards[i])
 		}
 	}
+	c.enc.Run(shards[:c.k], shards[c.k:], true)
 	return nil
 }
 
@@ -290,10 +291,7 @@ func (c *LRC) Repair(shards [][]byte, failed []int) error {
 			if grp < 0 {
 				// Global parity: re-encode from data.
 				buf := make([]byte, size)
-				row := c.gen.Row(f)
-				for j := 0; j < c.k; j++ {
-					gf256.MulAddSlice(row[j], shards[j], buf)
-				}
+				c.enc.Plan(f-c.k).Mul(shards[:c.k], buf)
 				shards[f] = buf
 				continue
 			}

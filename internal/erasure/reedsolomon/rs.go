@@ -7,10 +7,9 @@ package reedsolomon
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/erasure"
-	"repro/internal/gf256"
+	"repro/internal/erasure/kernel"
 	"repro/internal/gfmat"
 )
 
@@ -31,14 +30,28 @@ func (t Technique) String() string {
 	return "reed_sol_van"
 }
 
+// decodeCacheSize bounds the per-code survivor-pattern cache. Patterns
+// repeat heavily in practice (a cluster has few concurrent failure sets),
+// so a modest bound with real LRU eviction keeps the hit rate high.
+const decodeCacheSize = 1024
+
+// decProgram is a compiled reconstruction for one survivor set: the rows
+// of the inverted sub-generator belonging to the missing data shards,
+// ready to run over the k survivor shards.
+type decProgram struct {
+	rows    []int // survivor shard indices feeding the program, len k
+	missing []int // data shard indices the program reconstructs
+	prog    *kernel.Program
+}
+
 // RS is a Reed-Solomon code instance. It is safe for concurrent use.
 type RS struct {
 	k, m      int
 	technique Technique
-	gen       *gfmat.Matrix // n x k systematic generator
+	gen       *gfmat.Matrix   // n x k systematic generator
+	enc       *kernel.Program // parity rows of gen, compiled once
 
-	mu        sync.Mutex
-	decodeLRU map[string]*gfmat.Matrix // survivors key -> k x k inverse
+	decodeLRU *kernel.LRU[*decProgram] // survivor mask -> compiled decode
 }
 
 // New constructs an RS(k+m, k) code.
@@ -55,7 +68,15 @@ func New(k, m int, technique Technique) (*RS, error) {
 	} else {
 		gen = gfmat.SystematicVandermonde(k+m, k)
 	}
-	return &RS{k: k, m: m, technique: technique, gen: gen, decodeLRU: map[string]*gfmat.Matrix{}}, nil
+	parity := make([][]byte, m)
+	for i := range parity {
+		parity[i] = gen.Row(k + i)
+	}
+	return &RS{
+		k: k, m: m, technique: technique, gen: gen,
+		enc:       kernel.Compile(parity),
+		decodeLRU: kernel.NewLRU[*decProgram](decodeCacheSize),
+	}, nil
 }
 
 func init() {
@@ -111,14 +132,9 @@ func (r *RS) Encode(shards [][]byte) error {
 	for i := r.k; i < n; i++ {
 		if shards[i] == nil || len(shards[i]) != size {
 			shards[i] = make([]byte, size)
-		} else {
-			clear(shards[i])
-		}
-		row := r.gen.Row(i)
-		for j := 0; j < r.k; j++ {
-			mulAdd(row[j], shards[j], shards[i])
 		}
 	}
+	r.enc.Run(shards[:r.k], shards[r.k:], true)
 	return nil
 }
 
@@ -144,61 +160,61 @@ func (r *RS) Decode(shards [][]byte) error {
 	}
 	// Recover the data vector from the first k surviving shards, then
 	// re-encode whatever is missing.
-	rows := present[:r.k]
-	inv, err := r.decodeMatrix(rows)
+	dp, err := r.decodeProgram(present[:r.k])
 	if err != nil {
 		return err
 	}
-	data := make([][]byte, r.k)
-	for i := 0; i < r.k; i++ {
-		if shards[i] != nil {
-			data[i] = shards[i]
-			continue
-		}
-		buf := make([]byte, size)
-		row := inv.Row(i)
-		for j, src := range rows {
-			mulAdd(row[j], shards[src], buf)
-		}
-		data[i] = buf
-		shards[i] = buf
+	srcs := make([][]byte, r.k)
+	for j, src := range dp.rows {
+		srcs[j] = shards[src]
+	}
+	dsts := make([][]byte, len(dp.missing))
+	for i := range dsts {
+		dsts[i] = make([]byte, size)
+	}
+	dp.prog.Run(srcs, dsts, true)
+	for i, idx := range dp.missing {
+		shards[idx] = dsts[i]
 	}
 	for _, idx := range missing {
 		if idx < r.k {
 			continue // already rebuilt above
 		}
 		buf := make([]byte, size)
-		row := r.gen.Row(idx)
-		for j := 0; j < r.k; j++ {
-			mulAdd(row[j], data[j], buf)
-		}
+		r.enc.Plan(idx-r.k).Mul(shards[:r.k], buf)
 		shards[idx] = buf
 	}
 	return nil
 }
 
-// decodeMatrix returns the inverse of the generator restricted to the given
-// k surviving rows, memoized per survivor set.
-func (r *RS) decodeMatrix(rows []int) (*gfmat.Matrix, error) {
-	key := fmt.Sprint(rows)
-	r.mu.Lock()
-	if m, ok := r.decodeLRU[key]; ok {
-		r.mu.Unlock()
-		return m, nil
-	}
-	r.mu.Unlock()
-	sub := r.gen.SubMatrix(rows)
-	inv, err := sub.Invert()
-	if err != nil {
-		return nil, fmt.Errorf("reedsolomon: decode matrix for rows %v: %w", rows, err)
-	}
-	r.mu.Lock()
-	if len(r.decodeLRU) > 1024 { // bound the memo; patterns repeat heavily in practice
-		r.decodeLRU = map[string]*gfmat.Matrix{}
-	}
-	r.decodeLRU[key] = inv
-	r.mu.Unlock()
-	return inv, nil
+// decodeProgram returns the compiled reconstruction for the given k
+// surviving rows, memoized per survivor set in a bounded LRU keyed by the
+// survivor bitmask (an allocation-free lookup, unlike the fmt.Sprint keys
+// this replaces).
+func (r *RS) decodeProgram(rows []int) (*decProgram, error) {
+	return r.decodeLRU.GetOrCompute(kernel.MaskOf(rows...), func() (*decProgram, error) {
+		sub := r.gen.SubMatrix(rows)
+		inv, err := sub.Invert()
+		if err != nil {
+			return nil, fmt.Errorf("reedsolomon: decode matrix for rows %v: %w", rows, err)
+		}
+		dp := &decProgram{rows: append([]int(nil), rows...)}
+		have := make([]bool, r.k)
+		for _, idx := range rows {
+			if idx < r.k {
+				have[idx] = true
+			}
+		}
+		var recon [][]byte
+		for i := 0; i < r.k; i++ {
+			if !have[i] {
+				dp.missing = append(dp.missing, i)
+				recon = append(recon, inv.Row(i))
+			}
+		}
+		dp.prog = kernel.Compile(recon)
+		return dp, nil
+	})
 }
 
 // RepairPlan implements erasure.Code: RS repair reads k whole surviving
@@ -250,9 +266,4 @@ func (r *RS) Repair(shards [][]byte, failed []int) error {
 		shards[f] = work[f]
 	}
 	return nil
-}
-
-// mulAdd is a local alias to keep the hot loops readable.
-func mulAdd(c byte, src, dst []byte) {
-	gf256.MulAddSlice(c, src, dst)
 }

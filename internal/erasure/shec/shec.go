@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/erasure/gensolve"
+	"repro/internal/erasure/kernel"
 	"repro/internal/gf256"
 	"repro/internal/gfmat"
 )
@@ -26,6 +27,7 @@ type SHEC struct {
 	window  int
 	starts  []int // window start (data index) per parity
 	gen     *gfmat.Matrix
+	enc     *kernel.Program // parity rows of gen, compiled once
 
 	solvers *gensolve.Cache
 }
@@ -68,6 +70,7 @@ func New(k, m, c int) (*SHEC, error) {
 		}
 	}
 	s.gen = gen
+	s.enc = kernel.CompileMatrix(m, func(i int) []byte { return gen.Row(k + i) })
 	s.solvers = gensolve.NewCache(gen)
 	return s, nil
 }
@@ -149,14 +152,9 @@ func (s *SHEC) Encode(shards [][]byte) error {
 	for i := s.k; i < n; i++ {
 		if shards[i] == nil || len(shards[i]) != size {
 			shards[i] = make([]byte, size)
-		} else {
-			clear(shards[i])
-		}
-		row := s.gen.Row(i)
-		for j := 0; j < s.k; j++ {
-			gf256.MulAddSlice(row[j], shards[j], shards[i])
 		}
 	}
+	s.enc.Run(shards[:s.k], shards[s.k:], true)
 	return nil
 }
 
@@ -262,26 +260,29 @@ func (s *SHEC) Repair(shards [][]byte, failed []int) error {
 	if len(failed) == 1 {
 		f := failed[0]
 		if f >= s.k {
-			// Re-encode the parity from its window.
+			// Re-encode the parity from its window (the compiled row skips
+			// the zero columns outside it).
 			buf := make([]byte, size)
-			row := s.gen.Row(f)
-			for _, d := range s.windowMembers(f - s.k) {
-				gf256.MulAddSlice(row[d], shards[d], buf)
-			}
+			s.enc.Plan(f-s.k).Mul(shards[:s.k], buf)
 			shards[f] = buf
 			return nil
 		}
 		if cover := s.coveredBy(f); len(cover) > 0 {
-			// Solve the covering parity's equation for the lost chunk.
+			// Solve the covering parity's equation for the lost chunk in a
+			// single kernel pass: fold the 1/row[f] scaling into the
+			// coefficients instead of rescaling the result.
 			j := cover[0]
 			row := s.gen.Row(s.k + j)
-			buf := append([]byte(nil), shards[s.k+j]...)
+			inv := gf256.Inv(row[f])
+			coeffs := make([]byte, s.k+1)
 			for _, d := range s.windowMembers(j) {
 				if d != f {
-					gf256.MulAddSlice(row[d], shards[d], buf)
+					coeffs[d] = gf256.Mul(inv, row[d])
 				}
 			}
-			gf256.MulSlice(gf256.Inv(row[f]), buf, buf)
+			coeffs[s.k] = inv // the parity shard itself
+			buf := make([]byte, size)
+			gf256.MulAddRow(coeffs, append(shards[:s.k:s.k], shards[s.k+j]), buf)
 			shards[f] = buf
 			return nil
 		}

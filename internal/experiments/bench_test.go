@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// BenchmarkExperimentCells measures one full figure (six recovery cells)
+// serial versus fanned out over the worker pool. On multi-core machines
+// the speedup tracks the worker count until cells outnumber cores; on a
+// single core it bounds the scheduling overhead of the pool itself.
+func BenchmarkExperimentCells(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig2aBackendCache(400); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/durability"
 	"repro/internal/erasure"
 	"repro/internal/logsys"
+	"repro/internal/parallel"
 	"repro/internal/wamodel"
 )
 
@@ -58,6 +59,42 @@ func runRecovery(p core.Profile) (time.Duration, *core.Result, error) {
 	return res.Recovery.SystemRecoveryTime(), res, nil
 }
 
+// runProfiles executes independent experiment cells concurrently under the
+// worker budget (parallel.Workers: ECFAULT_WORKERS, the -workers flag, or
+// NumCPU). Every cell builds its own coordinator, simulated cluster, and
+// message bus, so cells share no mutable state; results come back in input
+// order and the first failing cell (by input order) decides the error, the
+// same error the old serial loops would have hit first.
+func runProfiles(ps []core.Profile) ([]*core.Result, error) {
+	results := make([]*core.Result, len(ps))
+	errs := make([]error, len(ps))
+	parallel.ForEach(len(ps), parallel.Workers(), func(i int) {
+		results[i], errs[i] = core.Run(ps[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runRecoveries is runProfiles for cells that must produce a recovery.
+func runRecoveries(ps []core.Profile) ([]time.Duration, []*core.Result, error) {
+	results, err := runProfiles(ps)
+	if err != nil {
+		return nil, nil, err
+	}
+	times := make([]time.Duration, len(results))
+	for i, res := range results {
+		if res.Recovery == nil {
+			return nil, nil, fmt.Errorf("experiments: profile %q ran no recovery", ps[i].Name)
+		}
+		times[i] = res.Recovery.SystemRecoveryTime()
+	}
+	return times, results, nil
+}
+
 func baseProfile(scale int) core.Profile {
 	return core.DefaultProfile().ScaleWorkload(scale)
 }
@@ -87,24 +124,49 @@ func normalize(fig *Figure, baseline time.Duration) {
 	}
 }
 
+// runFigure runs one recovery cell per (config, code) pair — all cells
+// concurrently under the worker budget — and fills the figure's Raw map
+// and Cells in config order.
+func runFigure(fig *Figure, configs []string, mkProfile func(cfgIdx, codeIdx int) core.Profile) error {
+	var ps []core.Profile
+	var keys []string
+	for ci, cfg := range configs {
+		for di, code := range Codes {
+			ps = append(ps, mkProfile(ci, di))
+			keys = append(keys, cfg+"/"+code.Label)
+		}
+	}
+	times, _, err := runRecoveries(ps)
+	if err != nil {
+		return err
+	}
+	for i, key := range keys {
+		fig.Raw[key] = times[i]
+	}
+	for _, cfg := range configs {
+		cell := Cell{Config: cfg, Values: map[string]float64{}}
+		for _, code := range Codes {
+			cell.Values[code.Label] = 0
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return nil
+}
+
 // Fig2aBackendCache reproduces Figure 2a: three BlueStore cache schemes
 // under a single OSD-host failure.
 func Fig2aBackendCache(scale int) (*Figure, error) {
 	fig := &Figure{ID: "fig2a", Title: "Impact of Backend Cache on EC Recovery Time", Raw: map[string]time.Duration{}}
-	for _, scheme := range []string{core.SchemeKVOptimized, core.SchemeDataOptimized, core.SchemeAutotune} {
-		cell := Cell{Config: scheme, Values: map[string]float64{}}
-		for _, code := range Codes {
-			p := withCode(baseProfile(scale), code.Plugin, code.D)
-			p.Name = fmt.Sprintf("fig2a-%s-%s", scheme, code.Label)
-			p.Backend.CacheScheme = scheme
-			d, _, err := runRecovery(p)
-			if err != nil {
-				return nil, err
-			}
-			fig.Raw[scheme+"/"+code.Label] = d
-			cell.Values[code.Label] = 0
-		}
-		fig.Cells = append(fig.Cells, cell)
+	schemes := []string{core.SchemeKVOptimized, core.SchemeDataOptimized, core.SchemeAutotune}
+	err := runFigure(fig, schemes, func(ci, di int) core.Profile {
+		code := Codes[di]
+		p := withCode(baseProfile(scale), code.Plugin, code.D)
+		p.Name = fmt.Sprintf("fig2a-%s-%s", schemes[ci], code.Label)
+		p.Backend.CacheScheme = schemes[ci]
+		return p
+	})
+	if err != nil {
+		return nil, err
 	}
 	normalize(fig, 0)
 	return fig, nil
@@ -113,24 +175,23 @@ func Fig2aBackendCache(scale int) (*Figure, error) {
 // Fig2bPlacementGroups reproduces Figure 2b: pg_num in {1, 16, 256}.
 func Fig2bPlacementGroups(scale int) (*Figure, error) {
 	fig := &Figure{ID: "fig2b", Title: "Impact of Placement Groups on EC Recovery Time", Raw: map[string]time.Duration{}}
-	for _, pgs := range []int{1, 16, 256} {
-		label := fmt.Sprintf("%d PGs", pgs)
+	pgNums := []int{1, 16, 256}
+	labels := make([]string, len(pgNums))
+	for i, pgs := range pgNums {
+		labels[i] = fmt.Sprintf("%d PGs", pgs)
 		if pgs == 1 {
-			label = "1 PG"
+			labels[i] = "1 PG"
 		}
-		cell := Cell{Config: label, Values: map[string]float64{}}
-		for _, code := range Codes {
-			p := withCode(baseProfile(scale), code.Plugin, code.D)
-			p.Name = fmt.Sprintf("fig2b-%d-%s", pgs, code.Label)
-			p.Pool.PGNum = pgs
-			d, _, err := runRecovery(p)
-			if err != nil {
-				return nil, err
-			}
-			fig.Raw[label+"/"+code.Label] = d
-			cell.Values[code.Label] = 0
-		}
-		fig.Cells = append(fig.Cells, cell)
+	}
+	err := runFigure(fig, labels, func(ci, di int) core.Profile {
+		code := Codes[di]
+		p := withCode(baseProfile(scale), code.Plugin, code.D)
+		p.Name = fmt.Sprintf("fig2b-%d-%s", pgNums[ci], code.Label)
+		p.Pool.PGNum = pgNums[ci]
+		return p
+	})
+	if err != nil {
+		return nil, err
 	}
 	normalize(fig, 0)
 	return fig, nil
@@ -148,21 +209,20 @@ func Fig2cStripeUnit(scale int) (*Figure, error) {
 		{"4MB", 4 << 20},
 		{"64MB", 64 << 20},
 	}
-	for _, u := range units {
-		cell := Cell{Config: u.label, Values: map[string]float64{}}
-		for _, code := range Codes {
-			p := withCode(baseProfile(scale), code.Plugin, code.D)
-			p.Name = fmt.Sprintf("fig2c-%s-%s", u.label, code.Label)
-			p.Pool.PGNum = 256
-			p.Pool.StripeUnit = u.bytes
-			d, _, err := runRecovery(p)
-			if err != nil {
-				return nil, err
-			}
-			fig.Raw[u.label+"/"+code.Label] = d
-			cell.Values[code.Label] = 0
-		}
-		fig.Cells = append(fig.Cells, cell)
+	labels := make([]string, len(units))
+	for i, u := range units {
+		labels[i] = u.label
+	}
+	err := runFigure(fig, labels, func(ci, di int) core.Profile {
+		code := Codes[di]
+		p := withCode(baseProfile(scale), code.Plugin, code.D)
+		p.Name = fmt.Sprintf("fig2c-%s-%s", units[ci].label, code.Label)
+		p.Pool.PGNum = 256
+		p.Pool.StripeUnit = units[ci].bytes
+		return p
+	})
+	if err != nil {
+		return nil, err
 	}
 	normalize(fig, 0)
 	return fig, nil
@@ -190,20 +250,18 @@ func Fig2dFailureMode(scale int) (*Figure, error) {
 		p.Pool.PGNum = 256
 		return p
 	}
-	// Baseline: single device failure, RS.
-	var baseline time.Duration
+	// One batch: the baseline (single device failure, RS) plus every
+	// mode x code cell, all concurrent.
+	var ps []core.Profile
+	var keys []string
 	{
 		p := shape(withCode(baseProfile(scale), Codes[0].Plugin, Codes[0].D))
 		p.Name = "fig2d-baseline"
 		p.Faults = []core.FaultSpec{{Level: core.FaultLevelDevice, Count: 1, AtSeconds: 10}}
-		d, _, err := runRecovery(p)
-		if err != nil {
-			return nil, err
-		}
-		baseline = d
+		ps = append(ps, p)
+		keys = append(keys, "baseline")
 	}
 	for _, mode := range modes {
-		cell := Cell{Config: mode.label, Values: map[string]float64{}}
 		for _, code := range Codes {
 			p := shape(withCode(baseProfile(scale), code.Plugin, code.D))
 			p.Name = fmt.Sprintf("fig2d-%s-%s", mode.label, code.Label)
@@ -211,11 +269,21 @@ func Fig2dFailureMode(scale int) (*Figure, error) {
 				Level: core.FaultLevelDevice, Count: mode.count,
 				Locality: mode.locality, AtSeconds: 10,
 			}}
-			d, _, err := runRecovery(p)
-			if err != nil {
-				return nil, err
-			}
-			fig.Raw[mode.label+"/"+code.Label] = d
+			ps = append(ps, p)
+			keys = append(keys, mode.label+"/"+code.Label)
+		}
+	}
+	times, _, err := runRecoveries(ps)
+	if err != nil {
+		return nil, err
+	}
+	baseline := times[0]
+	for i := 1; i < len(times); i++ {
+		fig.Raw[keys[i]] = times[i]
+	}
+	for _, mode := range modes {
+		cell := Cell{Config: mode.label, Values: map[string]float64{}}
+		for _, code := range Codes {
 			cell.Values[code.Label] = 0
 		}
 		fig.Cells = append(fig.Cells, cell)
@@ -240,23 +308,12 @@ type TimelineResult struct {
 // timeline at the default workload plus the checking-period fraction over
 // smaller and larger workloads.
 func Fig3Timeline(scale int) (*TimelineResult, error) {
+	// One batch: the full-detail run plus the §4.3 workload sweep, matching
+	// the volumes of prior work ([41, 54]: roughly 0.5 TB to 1 TB written)
+	// with the checking window unchanged.
 	p := baseProfile(scale)
 	p.Name = "fig3"
-	_, res, err := runRecovery(p)
-	if err != nil {
-		return nil, err
-	}
-	rec := res.Recovery
-	out := &TimelineResult{
-		RecoveryStarted:  rec.CheckingPeriod(),
-		RecoveryFinished: rec.SystemRecoveryTime(),
-		CheckingFraction: rec.CheckingFraction(),
-		Events:           res.Timeline,
-		FractionRange:    [2]float64{1, 0},
-	}
-	// Sweep workload sizes around the default the way §4.3 matches the
-	// volumes of prior work ([41, 54]: roughly 0.5 TB to 1 TB written),
-	// with the checking window unchanged.
+	ps := []core.Profile{p}
 	for _, mult := range []float64{0.8, 1, 1.6} {
 		q := baseProfile(scale)
 		q.Name = fmt.Sprintf("fig3-sweep-%gx", mult)
@@ -264,10 +321,21 @@ func Fig3Timeline(scale int) (*TimelineResult, error) {
 		if q.Workload.Objects < 1 {
 			q.Workload.Objects = 1
 		}
-		_, r, err := runRecovery(q)
-		if err != nil {
-			return nil, err
-		}
+		ps = append(ps, q)
+	}
+	_, results, err := runRecoveries(ps)
+	if err != nil {
+		return nil, err
+	}
+	rec := results[0].Recovery
+	out := &TimelineResult{
+		RecoveryStarted:  rec.CheckingPeriod(),
+		RecoveryFinished: rec.SystemRecoveryTime(),
+		CheckingFraction: rec.CheckingFraction(),
+		Events:           results[0].Timeline,
+		FractionRange:    [2]float64{1, 0},
+	}
+	for _, r := range results[1:] {
 		f := r.Recovery.CheckingFraction()
 		if f < out.FractionRange[0] {
 			out.FractionRange[0] = f
@@ -295,18 +363,22 @@ func Table3WriteAmplification(scale int) ([]WARow, error) {
 		{"J1 RS(12,9)", 9, 3},
 		{"J2 RS(15,12)", 12, 3},
 	}
-	var out []WARow
-	for _, r := range rows {
+	ps := make([]core.Profile, len(rows))
+	for i, r := range rows {
 		p := baseProfile(scale)
 		p.Name = "table3-" + r.id
 		p.Pool.K = r.k
 		p.Pool.M = r.m
 		p.Faults = nil // WA is measured on the healthy cluster
-		res, err := core.Run(p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, WARow{ID: r.id, Report: res.WA})
+		ps[i] = p
+	}
+	results, err := runProfiles(ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WARow, len(rows))
+	for i, r := range rows {
+		out[i] = WARow{ID: r.id, Report: results[i].WA}
 	}
 	return out, nil
 }
@@ -324,10 +396,11 @@ type WAValidationRow struct {
 // WAFormulaValidation sweeps object size, (n,k) and stripe_unit and
 // checks the paper's claim that the formula lower-bounds the measured WA.
 func WAFormulaValidation(scale int) ([]WAValidationRow, error) {
-	var out []WAValidationRow
 	geometries := []struct{ k, m int }{{9, 3}, {12, 3}, {4, 2}, {10, 4}}
 	sizes := []int64{4 << 20, 16 << 20, 64 << 20}
 	units := []int64{1 << 20, 4 << 20, 16 << 20}
+	var ps []core.Profile
+	var rows []WAValidationRow
 	for _, g := range geometries {
 		for _, size := range sizes {
 			for _, unit := range units {
@@ -339,22 +412,25 @@ func WAFormulaValidation(scale int) ([]WAValidationRow, error) {
 				p.Workload.ObjectSize = size
 				p.Workload.Objects = maxInt(p.Workload.Objects/4, 8)
 				p.Faults = nil
-				res, err := core.Run(p)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, WAValidationRow{
+				ps = append(ps, p)
+				rows = append(rows, WAValidationRow{
 					ObjectSize: size,
 					K:          g.k, M: g.m,
 					StripeUnit: unit,
-					Formula:    res.WA.FormulaBound,
-					Measured:   res.WA.Measured,
-					Holds:      res.WA.Measured >= res.WA.FormulaBound-1e-9,
 				})
 			}
 		}
 	}
-	return out, nil
+	results, err := runProfiles(ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].Formula = res.WA.FormulaBound
+		rows[i].Measured = res.WA.Measured
+		rows[i].Holds = res.WA.Measured >= res.WA.FormulaBound-1e-9
+	}
+	return rows, nil
 }
 
 func maxInt(a, b int) int {
@@ -393,18 +469,23 @@ func PluginComparison(scale int) ([]PluginRow, error) {
 		{"LRC(9,3,3)", "lrc", 9, 3, 3},
 		{"SHEC(9,5,3)", "shec", 9, 5, 3},
 	}
-	var out []PluginRow
-	for _, cfg := range configs {
+	ps := make([]core.Profile, len(configs))
+	for i, cfg := range configs {
 		p := baseProfile(scale)
 		p.Name = "plugins-" + cfg.label
 		p.Pool.Plugin = cfg.plugin
 		p.Pool.K = cfg.k
 		p.Pool.M = cfg.m
 		p.Pool.D = cfg.d
-		res, err := core.Run(p)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", cfg.label, err)
-		}
+		ps[i] = p
+	}
+	results, err := runProfiles(ps)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: plugin comparison: %w", err)
+	}
+	var out []PluginRow
+	for i, cfg := range configs {
+		res := results[i]
 		rec := res.Recovery
 		row := PluginRow{
 			Label: cfg.label, Plugin: cfg.plugin, K: cfg.k, M: cfg.m, D: cfg.d,

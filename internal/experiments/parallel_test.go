@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestParallelCellsMatchSerial forces the cell worker pool on and off and
+// requires identical raw measurements: parallelism must only change
+// wall-clock time, never results (every cell owns its whole simulated
+// cluster and the simulated clock is per-cluster).
+func TestParallelCellsMatchSerial(t *testing.T) {
+	const scale = 200
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	serial, err := Fig2aBackendCache(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	par, err := Fig2aBackendCache(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Raw) != len(serial.Raw) {
+		t.Fatalf("cell count differs: %d vs %d", len(par.Raw), len(serial.Raw))
+	}
+	for key, want := range serial.Raw {
+		if got := par.Raw[key]; got != want {
+			t.Errorf("%s: parallel %v != serial %v", key, got, want)
+		}
+	}
+	if par.Baseline != serial.Baseline {
+		t.Errorf("baseline differs: %v vs %v", par.Baseline, serial.Baseline)
+	}
+}
+
+// TestPluginComparisonParallel runs the 4-plugin study with the pool
+// forced on; under -race this doubles as the concurrency audit of
+// core.Run across all codec paths.
+func TestPluginComparisonParallel(t *testing.T) {
+	const scale = 200
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rows, err := PluginComparison(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.RecoveryTime <= 0 {
+			t.Errorf("%s: non-positive recovery time", r.Label)
+		}
+	}
+}

@@ -107,9 +107,13 @@ func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: slice length mismatch %d != %d", len(src), len(dst)))
 	}
-	mt := &mulTable[c]
-	for i, s := range src {
-		dst[i] = mt[s]
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		mulSliceRef(c, src, dst)
 	}
 }
 
@@ -119,16 +123,12 @@ func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: slice length mismatch %d != %d", len(src), len(dst)))
 	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
+	switch c {
+	case 0:
+	case 1:
 		xorWords(src, dst)
-		return
-	}
-	mt := &mulTable[c]
-	for i, s := range src {
-		dst[i] ^= mt[s]
+	default:
+		mulAddSliceRef(c, src, dst)
 	}
 }
 

@@ -1,0 +1,164 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// refMulAdd is the oracle for the fuzzers below: dst[i] ^= c*src[i] using
+// the bit-by-bit refMul from gf256_test.go, fully independent of the
+// product tables and the word kernels.
+func refMulAdd(c byte, src, dst []byte) {
+	for i, s := range src {
+		dst[i] ^= refMul(c, s)
+	}
+}
+
+// FuzzMulAddSliceKernel checks MulAddSlice (table loop plus the c=0/1 fast
+// paths) against the bit-by-bit oracle for arbitrary coefficients,
+// payloads, and lengths.
+func FuzzMulAddSliceKernel(f *testing.F) {
+	f.Add(byte(2), []byte("hello, erasure coding world"))
+	f.Add(byte(0), []byte{1, 2, 3})
+	f.Add(byte(1), []byte{0xff})
+	f.Add(byte(0x8e), bytes.Repeat([]byte{0xa5, 0x3c}, 33))
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i*7 + 13)
+		}
+		want := append([]byte(nil), dst...)
+		refMulAdd(c, src, want)
+		MulAddSlice(c, src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlice(c=%#x, len=%d) diverges from reference", c, len(src))
+		}
+	})
+}
+
+// FuzzMulSliceKernel checks MulSlice against the bit-by-bit oracle.
+func FuzzMulSliceKernel(f *testing.F) {
+	f.Add(byte(3), []byte("0123456789abcdef-tail"))
+	f.Add(byte(0), []byte{9})
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		dst := make([]byte, len(src))
+		want := make([]byte, len(src))
+		for i, s := range src {
+			want[i] = refMul(c, s)
+		}
+		MulSlice(c, src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulSlice(c=%#x, len=%d) diverges from reference", c, len(src))
+		}
+	})
+}
+
+// FuzzMulAddRow checks the bit-plane Horner row kernel against a loop of
+// bit-by-bit reference multiply-accumulates. The fuzzer drives the
+// coefficients and one payload; the remaining sources are deterministic
+// permutations of it, so the row width varies with the coefficient count
+// and the payload length exercises non-8-byte-aligned tails.
+func FuzzMulAddRow(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x53}, []byte("a moderately sized source shard payload"))
+	f.Add([]byte{1}, []byte{})
+	f.Add([]byte{0xff, 0xfe}, bytes.Repeat([]byte{0x11}, 71))
+	f.Fuzz(func(t *testing.T, coeffs, src []byte) {
+		if len(coeffs) > 64 {
+			coeffs = coeffs[:64]
+		}
+		srcs := make([][]byte, len(coeffs))
+		for j := range srcs {
+			s := make([]byte, len(src))
+			for i, b := range src {
+				s[i] = b ^ byte(j*31+i)
+			}
+			srcs[j] = s
+		}
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 3)
+		}
+		want := append([]byte(nil), dst...)
+		for j, c := range coeffs {
+			refMulAdd(c, srcs[j], want)
+		}
+		MulAddRow(coeffs, srcs, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddRow(%d coeffs, len=%d) diverges from reference", len(coeffs), len(src))
+		}
+	})
+}
+
+// FuzzRowPlanRanges checks that a RowPlan applied as two disjoint Apply
+// ranges split at an arbitrary (not word-aligned) boundary is
+// byte-identical to one serial pass, in both accumulate and overwrite
+// modes. This is the property the parallel stripe executor relies on when
+// it fans bands out to workers.
+func FuzzRowPlanRanges(f *testing.F) {
+	f.Add([]byte{2, 3, 0, 9}, []byte("split me at an odd boundary please"), uint16(5))
+	f.Add([]byte{1, 1}, bytes.Repeat([]byte{0x77}, 40), uint16(17))
+	f.Fuzz(func(t *testing.T, coeffs, src []byte, cutRaw uint16) {
+		if len(coeffs) > 32 {
+			coeffs = coeffs[:32]
+		}
+		srcs := make([][]byte, len(coeffs))
+		for j := range srcs {
+			s := make([]byte, len(src))
+			for i, b := range src {
+				s[i] = b ^ byte(j*89+i*5)
+			}
+			srcs[j] = s
+		}
+		rp := CompileRow(coeffs)
+		for _, overwrite := range []bool{false, true} {
+			serial := make([]byte, len(src))
+			split := make([]byte, len(src))
+			for i := range serial {
+				serial[i] = byte(i*11 + 1)
+				split[i] = serial[i]
+			}
+			rp.Apply(srcs, serial, 0, len(serial), overwrite)
+			cut := 0
+			if len(src) > 0 {
+				cut = int(cutRaw) % (len(src) + 1)
+			}
+			rp.Apply(srcs, split, 0, cut, overwrite)
+			rp.Apply(srcs, split, cut, len(split), overwrite)
+			if !bytes.Equal(serial, split) {
+				t.Fatalf("split Apply at %d (overwrite=%v, len=%d) diverges from serial pass", cut, overwrite, len(src))
+			}
+		}
+	})
+}
+
+// TestRowPlanUnalignedOperands drives Apply through the byte-slice
+// fallback and the head/tail alignment fixups: sources and destination
+// offset by every sub-word amount, at lengths around band boundaries.
+func TestRowPlanUnalignedOperands(t *testing.T) {
+	coeffs := []byte{2, 0, 1, 0x8e, 0xfd}
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 2048, 2055, 4096 + 5} {
+		for shift := 0; shift < 8; shift++ {
+			srcs := make([][]byte, len(coeffs))
+			for j := range srcs {
+				backing := make([]byte, n+shift)
+				for i := range backing {
+					backing[i] = byte(i*13 + j*7 + 5)
+				}
+				srcs[j] = backing[shift:]
+			}
+			backing := make([]byte, n+shift)
+			for i := range backing {
+				backing[i] = byte(i * 29)
+			}
+			dst := backing[shift:]
+			want := append([]byte(nil), dst...)
+			for j, c := range coeffs {
+				refMulAdd(c, srcs[j], want)
+			}
+			MulAddRow(coeffs, srcs, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("n=%d shift=%d: MulAddRow diverges from reference", n, shift)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package parallel provides the process-wide worker budget and a small
+// fan-out helper shared by the coding kernels and the experiment runner.
+//
+// The budget defaults to runtime.NumCPU and can be overridden by the
+// ECFAULT_WORKERS environment variable or programmatically (command-line
+// flags in cmd/ecbench and cmd/ectuner route here). A budget of 1 makes
+// every helper run inline, which keeps single-core machines and tests
+// deterministic by default.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds a programmatic worker-count override; 0 means none.
+var override atomic.Int32
+
+// envWorkers caches the ECFAULT_WORKERS parse. Read once: the environment
+// is not expected to change mid-process.
+var envWorkers = sync.OnceValue(func() int {
+	v := os.Getenv("ECFAULT_WORKERS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+})
+
+// Workers returns the current worker budget: the programmatic override if
+// set, else ECFAULT_WORKERS if set and valid, else runtime.NumCPU.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	if n := envWorkers(); n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers overrides the worker budget process-wide. n <= 0 removes the
+// override. It returns the previous override (0 if none) so callers can
+// restore it.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int32(n)))
+}
+
+// ForEach runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns when all calls have finished. workers <= 1 (or n <= 1) runs
+// everything inline on the calling goroutine. Panics in fn propagate to
+// the caller after all workers stop.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, r)
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go body()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}

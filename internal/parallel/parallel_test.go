@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersOverridePrecedence(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers with override = %d, want 3", got)
+	}
+	SetWorkers(0)
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers without override = %d, want >= 1", got)
+	}
+}
+
+func TestSetWorkersReturnsPrevious(t *testing.T) {
+	prev := SetWorkers(5)
+	defer SetWorkers(prev)
+	if got := SetWorkers(7); got != 5 {
+		t.Fatalf("SetWorkers returned previous %d, want 5", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 1000
+		var counts [n]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachInlineWhenSerial(t *testing.T) {
+	// workers <= 1 must run on the calling goroutine in order; plain
+	// (non-atomic) state is the witness under -race.
+	got := make([]int, 0, 5)
+	ForEach(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d of 5", len(got))
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	ForEach(-3, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(100, 4, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -14,14 +14,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/durability"
 	"repro/internal/erasure"
+	"repro/internal/parallel"
 )
 
 // Objective scores a candidate; lower is better.
@@ -231,22 +230,14 @@ func rank(obj Objective, cands []Candidate) []Candidate {
 
 // GridSearch evaluates every candidate in the space and returns them
 // ranked best-first. Candidates run concurrently (each experiment is an
-// independent simulated cluster), bounded by GOMAXPROCS.
+// independent simulated cluster), bounded by the shared worker budget
+// (parallel.Workers: ECFAULT_WORKERS, the -workers flag, or NumCPU).
 func GridSearch(base core.Profile, space Space, obj Objective) ([]Candidate, error) {
 	profiles := space.Candidates(base)
 	cands := make([]Candidate, len(profiles))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, p := range profiles {
-		wg.Add(1)
-		go func(i int, p core.Profile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cands[i] = evaluate(p)
-		}(i, p)
-	}
-	wg.Wait()
+	parallel.ForEach(len(profiles), parallel.Workers(), func(i int) {
+		cands[i] = evaluate(profiles[i])
+	})
 	ranked := rank(obj, cands)
 	if ranked == nil {
 		return nil, ErrEmptySpace

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repo-wide check: vet + build + tier-1 tests + race audit of the
+# concurrent packages. Run from the repo root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test (tier 1) =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race -count=1 \
+    ./internal/erasure/... \
+    ./internal/experiments \
+    ./internal/core \
+    ./internal/parallel \
+    ./internal/tuner
+
+echo "OK"
