@@ -178,6 +178,19 @@ func (d *Device) AccountWrite(n int64) error {
 	return nil
 }
 
+// AccountWrites records n writes totalling bytes without moving data,
+// one locked step for a whole bulk ingest.
+func (d *Device) AccountWrites(bytes, n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.removed {
+		return ErrRemoved
+	}
+	d.stats.WriteOps += n
+	d.stats.WriteBytes += bytes
+	return nil
+}
+
 // Used reports allocated bytes (whole blocks).
 func (d *Device) Used() int64 {
 	d.mu.Lock()

@@ -100,7 +100,14 @@ type Store struct {
 	dev *blockdev.Device
 	kv  *kvstore.DB
 
-	chunks map[string]*chunkInfo
+	chunks map[string]chunkInfo
+
+	// bulk holds accounting-mode chunks ingested through WriteChunksBulk
+	// whose byte/metadata accounting is already applied but whose map
+	// entries are deferred: synthetic bulk loads write millions of chunks
+	// that are usually never looked up by name again, so the hash-map
+	// cost is paid lazily, per store, on the first name lookup.
+	bulk []bulkEntry
 
 	dataAllocated int64
 	nextOffset    int64 // bump allocator for payload placement
@@ -152,7 +159,7 @@ func Open(dev *blockdev.Device, cfg Config) (*Store, error) {
 		cfg:    cfg,
 		dev:    dev,
 		kv:     kvstore.Open(cfg.KVSpaceAmp),
-		chunks: map[string]*chunkInfo{},
+		chunks: map[string]chunkInfo{},
 	}, nil
 }
 
@@ -177,10 +184,11 @@ func (s *Store) WriteChunk(name string, size, objectShare int64, payload []byte)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeBulkLocked()
 	if old, ok := s.chunks[name]; ok {
 		s.dropLocked(name, old)
 	}
-	info := &chunkInfo{size: size, share: objectShare}
+	info := chunkInfo{size: size, share: objectShare}
 	info.allocated = roundUp(size, s.cfg.MinAllocSize)
 
 	var off int64
@@ -202,21 +210,92 @@ func (s *Store) WriteChunk(name string, size, objectShare int64, payload []byte)
 	}
 	s.dataAllocated += info.allocated
 
-	// Onode record: placement offset + sizes, padded to the modeled onode
-	// size.
-	onode := make([]byte, s.cfg.OnodeBytes)
-	binary.BigEndian.PutUint64(onode[0:8], uint64(off))
-	binary.BigEndian.PutUint64(onode[8:16], uint64(size))
-	binary.BigEndian.PutUint64(onode[16:24], uint64(objectShare))
 	if info.hasData {
+		// Onode record: placement offset + sizes, padded to the modeled
+		// onode size. Only payload-mode chunks ever read it back.
+		onode := make([]byte, s.cfg.OnodeBytes)
+		binary.BigEndian.PutUint64(onode[0:8], uint64(off))
+		binary.BigEndian.PutUint64(onode[8:16], uint64(size))
+		binary.BigEndian.PutUint64(onode[16:24], uint64(objectShare))
 		onode[24] = 1
+		s.kv.Put("o/"+name, onode)
+	} else {
+		// Accounting-mode chunks account the identical KV entry without
+		// materializing the key or the onode bytes (the synthetic-workload
+		// hot path: millions of onodes nobody reads).
+		s.kv.PutAccounted(len("o/")+len(name), int(s.cfg.OnodeBytes))
 	}
-	s.kv.Put("o/"+name, onode)
 
 	s.accountedMeta += s.metaRecordBytes(size)
 	s.ecMetaBytes += int64(s.cfg.ECMetaFraction * float64(objectShare))
 	s.chunks[name] = info
 	return nil
+}
+
+// BulkChunk is one accounting-mode chunk of a bulk ingest.
+type BulkChunk struct {
+	Name  string
+	Size  int64 // padded chunk size on disk
+	Share int64 // logical object share (S_object / n)
+}
+
+type bulkEntry struct {
+	name string
+	info chunkInfo
+}
+
+// WriteChunksBulk ingests accounting-mode chunks in one locked pass:
+// byte-for-byte the same device, KV and metadata accounting as calling
+// WriteChunk(name, size, share, nil) per chunk, but with one device and
+// one KV accounting call for the whole batch, and the per-name map
+// entries deferred until some lookup actually needs them. Names must be
+// new — bulk ingest targets a freshly created pool.
+func (s *Store) WriteChunksBulk(chunks []BulkChunk) error {
+	var devBytes, keyBytes, allocSum, metaSum, ecSum int64
+	for i := range chunks {
+		ch := &chunks[i]
+		if ch.Size < 0 || ch.Share < 0 {
+			return fmt.Errorf("bluestore: negative sizes")
+		}
+		devBytes += ch.Size
+		keyBytes += int64(len("o/") + len(ch.Name))
+		allocSum += roundUp(ch.Size, s.cfg.MinAllocSize)
+		metaSum += s.metaRecordBytes(ch.Size)
+		ecSum += int64(s.cfg.ECMetaFraction * float64(ch.Share))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.dev.AccountWrites(devBytes, int64(len(chunks))); err != nil {
+		return fmt.Errorf("bluestore: %w", err)
+	}
+	s.kv.PutAccountedN(keyBytes, int64(len(chunks))*s.cfg.OnodeBytes, int64(len(chunks)))
+	s.dataAllocated += allocSum
+	s.accountedMeta += metaSum
+	s.ecMetaBytes += ecSum
+	for _, ch := range chunks {
+		s.bulk = append(s.bulk, bulkEntry{name: ch.Name, info: chunkInfo{
+			size:      ch.Size,
+			allocated: roundUp(ch.Size, s.cfg.MinAllocSize),
+			share:     ch.Share,
+		}})
+	}
+	return nil
+}
+
+// materializeBulkLocked moves deferred bulk entries into the chunks map.
+// Every name-keyed code path calls it first, so the deferral is invisible
+// to callers.
+func (s *Store) materializeBulkLocked() {
+	if len(s.bulk) == 0 {
+		return
+	}
+	for _, e := range s.bulk {
+		if old, ok := s.chunks[e.name]; ok {
+			s.dropLocked(e.name, old)
+		}
+		s.chunks[e.name] = e.info
+	}
+	s.bulk = nil
 }
 
 // metaRecordBytes is the extent-map plus checksum record size for a chunk.
@@ -230,6 +309,7 @@ func (s *Store) metaRecordBytes(size int64) int64 {
 // bytes. Device read counters are bumped either way.
 func (s *Store) ReadChunk(name string) (int64, []byte, error) {
 	s.mu.Lock()
+	s.materializeBulkLocked()
 	info, ok := s.chunks[name]
 	if !ok {
 		s.mu.Unlock()
@@ -264,6 +344,7 @@ func (s *Store) ReadChunk(name string) (int64, []byte, error) {
 // reads totalling bytes), used by Clay repair I/O accounting.
 func (s *Store) ReadSubChunks(name string, bytes int64) error {
 	s.mu.Lock()
+	s.materializeBulkLocked()
 	_, ok := s.chunks[name]
 	s.mu.Unlock()
 	if !ok {
@@ -279,11 +360,13 @@ func (s *Store) ReadSubChunks(name string, bytes int64) error {
 func (s *Store) CorruptChunk(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeBulkLocked()
 	info, ok := s.chunks[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
 	}
 	info.corrupted = true
+	s.chunks[name] = info
 	if info.hasData {
 		onode, ok := s.kv.Get("o/" + name)
 		if !ok {
@@ -310,6 +393,7 @@ func (s *Store) CorruptChunk(name string) error {
 // is consistent.
 func (s *Store) ScrubChunk(name string) (bool, error) {
 	s.mu.Lock()
+	s.materializeBulkLocked()
 	info, ok := s.chunks[name]
 	s.mu.Unlock()
 	if !ok {
@@ -329,6 +413,7 @@ func (s *Store) ScrubChunk(name string) (bool, error) {
 func (s *Store) HasChunk(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeBulkLocked()
 	_, ok := s.chunks[name]
 	return ok
 }
@@ -337,6 +422,7 @@ func (s *Store) HasChunk(name string) bool {
 func (s *Store) ChunkSize(name string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeBulkLocked()
 	info, ok := s.chunks[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
@@ -348,6 +434,7 @@ func (s *Store) ChunkSize(name string) (int64, error) {
 func (s *Store) DeleteChunk(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.materializeBulkLocked()
 	info, ok := s.chunks[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
@@ -356,11 +443,15 @@ func (s *Store) DeleteChunk(name string) error {
 	return nil
 }
 
-func (s *Store) dropLocked(name string, info *chunkInfo) {
+func (s *Store) dropLocked(name string, info chunkInfo) {
 	s.dataAllocated -= info.allocated
 	s.accountedMeta -= s.metaRecordBytes(info.size)
 	s.ecMetaBytes -= int64(s.cfg.ECMetaFraction * float64(info.share))
-	s.kv.Delete("o/" + name)
+	if info.hasData {
+		s.kv.Delete("o/" + name)
+	} else {
+		s.kv.DeleteAccounted(len("o/")+len(name), int(s.cfg.OnodeBytes))
+	}
 	delete(s.chunks, name)
 }
 
@@ -368,7 +459,7 @@ func (s *Store) dropLocked(name string, info *chunkInfo) {
 func (s *Store) Chunks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.chunks)
+	return len(s.chunks) + len(s.bulk)
 }
 
 // DataBytes is the allocated payload space (min_alloc rounded).
@@ -413,7 +504,7 @@ func (s *Store) AccessProfile() (metaHit, kvHit, dataHit float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kvNeed := float64(s.kv.Footprint()) + s.cfg.KVSpaceAmp*float64(s.accountedMeta) + float64(s.ecMetaBytes)
-	metaNeed := float64(int64(len(s.chunks)) * s.cfg.OnodeBytes)
+	metaNeed := float64(int64(len(s.chunks)+len(s.bulk)) * s.cfg.OnodeBytes)
 	dataNeed := float64(s.dataWorkingSet)
 	total := float64(s.cfg.CacheBytes)
 

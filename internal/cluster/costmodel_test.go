@@ -94,7 +94,7 @@ func TestDecodeTime(t *testing.T) {
 		t.Fatalf("decode = %v want %v", pure, want)
 	}
 	withSub := cm.decodeTime(0, 100_000)
-	if withSub != 100_000*cm.ClaySubChunkCPU {
+	if withSub != 100_000*(cm.ClaySubChunkCPU+cm.ClaySubChunkOp) {
 		t.Fatalf("sub-chunk cost = %v", withSub)
 	}
 }

@@ -266,10 +266,22 @@ func (c *Cluster) ScheduleRecovery(poolName string) (*RecoveryResult, error) {
 	// cache model can size the hot set (drives the Fig. 2a effect).
 	readPerOSD := map[int]int64{}
 	for _, w := range work {
+		// Per-object share of the plan's read bytes, summed once and then
+		// credited to every helper — same integer arithmetic as the old
+		// objects x helpers double loop (each object contributed
+		// BytesRead/len(helpers), rounded down, to each helper), without
+		// re-walking the helper list per object.
+		var perHelper int64
+		var lastSize, lastShare int64 = -1, 0
 		for _, o := range w.pg.Objects {
-			for _, h := range w.plan.Helpers {
-				readPerOSD[w.pg.Acting[h.Shard]] += w.plan.BytesRead(o.ChunkSize) / int64(len(w.plan.Helpers))
+			if o.ChunkSize != lastSize {
+				lastSize = o.ChunkSize
+				lastShare = w.plan.BytesRead(o.ChunkSize) / int64(len(w.plan.Helpers))
 			}
+			perHelper += lastShare
+		}
+		for _, h := range w.plan.Helpers {
+			readPerOSD[w.pg.Acting[h.Shard]] += perHelper
 		}
 	}
 	for id, bytes := range readPerOSD {
@@ -421,108 +433,274 @@ func (c *Cluster) planHelperIO(pool *Pool, pg *PG, plan *erasure.Plan, chunkSize
 	return out
 }
 
+// pgRecovery drives one PG's object repairs. Every stage of the pipeline
+// — helper read, ship to primary, decode, ship to target, target write —
+// is a fixed-arg simulator event whose argument is a pooled node, so
+// steady-state repair schedules events without allocating. The scheduling
+// order matches the earlier closure-based pipeline call for call, which
+// is what keeps RecoveryResult timelines bit-identical across the engine
+// rewrite.
+type pgRecovery struct {
+	c       *Cluster
+	cm      *CostModel
+	pool    *Pool
+	pg      *PG
+	lostIdx []int
+	targets []int
+	plan    *erasure.Plan
+	primary *OSD
+	res     *RecoveryResult
+	done    func()
+
+	next     int
+	inFlight int
+
+	// hios/units are the per-helper IO plan for hioChunkSize, computed
+	// once per PG and reused while objects keep that size (the common
+	// uniform-workload case), instead of re-planned per object.
+	hioChunkSize int64
+	hios         []helperIO
+	units        int64
+}
+
+// objRepair is one in-flight object repair; helperRead and chunkWrite are
+// its per-helper and per-lost-chunk legs. All three recycle through
+// cluster-level freelists.
+type objRepair struct {
+	pr          *pgRecovery
+	obj         *ObjectRecord
+	units       int64
+	srcBytes    int64
+	helpersLeft int
+	writesLeft  int
+	next        *objRepair
+}
+
+type helperRead struct {
+	or   *objRepair
+	hio  *helperIO
+	next *helperRead
+}
+
+type chunkWrite struct {
+	or   *objRepair
+	li   int // index into pr.lostIdx / pr.targets
+	next *chunkWrite
+}
+
+func (c *Cluster) newObjRepair() *objRepair {
+	if or := c.freeObjs; or != nil {
+		c.freeObjs = or.next
+		or.next = nil
+		return or
+	}
+	return &objRepair{}
+}
+
+func (c *Cluster) freeObjRepair(or *objRepair) {
+	*or = objRepair{next: c.freeObjs}
+	c.freeObjs = or
+}
+
+func (c *Cluster) newHelperRead() *helperRead {
+	if hr := c.freeReads; hr != nil {
+		c.freeReads = hr.next
+		hr.next = nil
+		return hr
+	}
+	return &helperRead{}
+}
+
+func (c *Cluster) freeHelperRead(hr *helperRead) {
+	*hr = helperRead{next: c.freeReads}
+	c.freeReads = hr
+}
+
+func (c *Cluster) newChunkWrite() *chunkWrite {
+	if w := c.freeWrites; w != nil {
+		c.freeWrites = w.next
+		w.next = nil
+		return w
+	}
+	return &chunkWrite{}
+}
+
+func (c *Cluster) freeChunkWrite(w *chunkWrite) {
+	*w = chunkWrite{next: c.freeWrites}
+	c.freeWrites = w
+}
+
 // startPGRecovery pumps the PG's missing objects through the repair
 // pipeline with the configured recovery concurrency.
 func (c *Cluster) startPGRecovery(pool *Pool, pg *PG, lostIdx []int, primaryID int, targets []int, plan *erasure.Plan, res *RecoveryResult, done func()) {
-	cm := &c.cfg.Cost
 	primary := c.osds[primaryID]
 	c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d start recovery I/O (%d objects, %d lost chunks each)", pg.ID, len(pg.Objects), len(lostIdx)))
+	pr := &pgRecovery{
+		c: c, cm: &c.cfg.Cost, pool: pool, pg: pg,
+		lostIdx: lostIdx, targets: targets, plan: plan,
+		primary: primary, res: res, done: done,
+	}
+	pr.pump()
+}
 
-	next := 0
-	inFlight := 0
-	var pump func()
-	finishObject := func(obj *ObjectRecord) {
-		res.ObjectRepairs++
-		res.RepairedChunks += len(lostIdx)
-		if len(lostIdx) > 1 {
-			res.FullDecodeObjects++
-		}
-		inFlight--
-		pump()
+func (pr *pgRecovery) pump() {
+	for pr.inFlight < pr.cm.RecoveryMaxActive && pr.next < len(pr.pg.Objects) {
+		obj := pr.pg.Objects[pr.next]
+		pr.next++
+		pr.inFlight++
+		pr.repair(obj)
 	}
-	repair := func(obj *ObjectRecord) {
-		hios := c.planHelperIO(pool, pg, plan, obj.ChunkSize)
-		units := (obj.ChunkSize + pool.StripeUnit - 1) / pool.StripeUnit
-		if units < 1 {
-			units = 1
+	if pr.inFlight == 0 && pr.next >= len(pr.pg.Objects) {
+		// Update the acting set: targets take over the lost slots.
+		for li, lost := range pr.lostIdx {
+			pr.pg.Acting[lost] = pr.targets[li]
 		}
-		var srcBytes int64
-		var helpers *simclock.Join
-		decodeAndWrite := func() {
-			// Sub-chunk transforms per decode: the plan's pattern repeats
-			// once per encoding unit.
-			subOps := units * int64(plan.SubChunksRead())
-			service := cm.decodeTime(srcBytes, subOps) + cm.RepairOpOverhead
-			primary.cpu.Submit(service, func() {
-				// Reconstruct real bytes when the object has payload.
-				if obj.Payload {
-					if err := c.repairPayload(pool, pg, obj, lostIdx, targets); err != nil {
-						c.log(c.sim.Now(), primary.Host, fmt.Sprintf("pg %d object %s payload repair failed: %v", pg.ID, obj.Name, err))
-					}
-				}
-				writes := simclock.NewJoin(len(lostIdx), func() { finishObject(obj) })
-				for li, lost := range lostIdx {
-					target := c.osds[targets[li]]
-					lost := lost
-					c.net.Transfer(primary.Host, target.Host, obj.ChunkSize, func() {
-						idle := target.disk.InFlight() == 0 && target.disk.QueueLen() == 0
-						target.disk.Submit(cm.diskWriteTime(obj.ChunkSize, idle), func() {
-							if !obj.Payload {
-								name := chunkName(pool.Name, pg.ID, obj.Name, lost)
-								share := obj.Size / int64(pool.Code.N())
-								if err := target.Store.WriteChunk(name, obj.ChunkSize, share, nil); err != nil {
-									c.log(c.sim.Now(), target.Host, fmt.Sprintf("recovery write failed: %v", err))
-								}
-							}
-							res.WrittenBytes += obj.ChunkSize
-							writes.Done()
-						})
-					})
-				}
-			})
-		}
-		helpers = simclock.NewJoin(len(hios), decodeAndWrite)
-		for _, hio := range hios {
-			hio := hio
-			helper := c.osds[hio.osd]
-			hMetaHit, hKVHit, hDataHit := helper.Store.AccessProfile()
-			missFrac := 1 - (hMetaHit+hKVHit)/2
-			effBytes := int64(float64(hio.diskBytes) * (1 - hDataHit*cm.ColdDataFraction))
-			if hio.strided && cm.StrideEfficiency > 0 && cm.StrideEfficiency < 1 {
-				// Strided reads forfeit read-ahead: the device spends
-				// sequential-equivalent time moving fewer bytes.
-				effBytes = int64(float64(effBytes) / cm.StrideEfficiency)
-			}
-			idle := helper.disk.InFlight() == 0 && helper.disk.QueueLen() == 0
-			service := simclock.Time(float64(cm.MetaLookup)*missFrac) + cm.diskReadTime(effBytes, hio.ios, hio.runs, idle)
-			helper.disk.Submit(service, func() {
-				name := chunkName(pool.Name, pg.ID, obj.Name, c.shardOf(pg, hio.osd))
-				_ = helper.Store.ReadSubChunks(name, hio.diskBytes)
-				res.HelperDiskBytes += hio.diskBytes
-				srcBytes += hio.netBytes
-				c.net.Transfer(helper.Host, primary.Host, hio.netBytes, func() {
-					res.NetworkBytes += hio.netBytes
-					helpers.Done()
-				})
-			})
+		pr.done()
+	}
+}
+
+// hiosFor returns the per-helper IO plan for a chunk size, re-planning
+// only when the size differs from the cached one.
+func (pr *pgRecovery) hiosFor(chunkSize int64) []helperIO {
+	if pr.hios == nil || chunkSize != pr.hioChunkSize {
+		pr.hios = pr.c.planHelperIO(pr.pool, pr.pg, pr.plan, chunkSize)
+		pr.hioChunkSize = chunkSize
+		pr.units = (chunkSize + pr.pool.StripeUnit - 1) / pr.pool.StripeUnit
+		if pr.units < 1 {
+			pr.units = 1
 		}
 	}
-	pump = func() {
-		for inFlight < cm.RecoveryMaxActive && next < len(pg.Objects) {
-			obj := pg.Objects[next]
-			next++
-			inFlight++
-			repair(obj)
+	return pr.hios
+}
+
+func (pr *pgRecovery) repair(obj *ObjectRecord) {
+	c, cm := pr.c, pr.cm
+	hios := pr.hiosFor(obj.ChunkSize)
+	or := c.newObjRepair()
+	or.pr, or.obj, or.units = pr, obj, pr.units
+	or.helpersLeft = len(hios)
+	if len(hios) == 0 {
+		or.decode()
+		return
+	}
+	for i := range hios {
+		hio := &hios[i]
+		helper := c.osds[hio.osd]
+		hMetaHit, hKVHit, hDataHit := helper.Store.AccessProfile()
+		missFrac := 1 - (hMetaHit+hKVHit)/2
+		effBytes := int64(float64(hio.diskBytes) * (1 - hDataHit*cm.ColdDataFraction))
+		if hio.strided && cm.StrideEfficiency > 0 && cm.StrideEfficiency < 1 {
+			// Strided reads forfeit read-ahead: the device spends
+			// sequential-equivalent time moving fewer bytes.
+			effBytes = int64(float64(effBytes) / cm.StrideEfficiency)
 		}
-		if inFlight == 0 && next >= len(pg.Objects) {
-			// Update the acting set: targets take over the lost slots.
-			for li, lost := range lostIdx {
-				pg.Acting[lost] = targets[li]
-			}
-			done()
+		idle := helper.disk.InFlight() == 0 && helper.disk.QueueLen() == 0
+		service := simclock.Time(float64(cm.MetaLookup)*missFrac) + cm.diskReadTime(effBytes, hio.ios, hio.runs, idle)
+		hr := c.newHelperRead()
+		hr.or, hr.hio = or, hio
+		helper.disk.SubmitArg(service, helperReadDone, hr)
+	}
+}
+
+// helperReadDone fires when a helper's disk read completes: account the
+// device traffic and ship the planned bytes to the primary.
+func helperReadDone(a any) {
+	hr := a.(*helperRead)
+	or := hr.or
+	pr := or.pr
+	hio := hr.hio
+	helper := pr.c.osds[hio.osd]
+	// Device-level accounting of the sub-chunk reads (what ReadSubChunks
+	// did, minus building a chunk name only to discard it).
+	_ = helper.Store.Device().AccountRead(hio.diskBytes)
+	pr.res.HelperDiskBytes += hio.diskBytes
+	or.srcBytes += hio.netBytes
+	pr.c.net.TransferArg(helper.Host, pr.primary.Host, hio.netBytes, helperShipDone, hr)
+}
+
+func helperShipDone(a any) {
+	hr := a.(*helperRead)
+	or := hr.or
+	pr := or.pr
+	pr.res.NetworkBytes += hr.hio.netBytes
+	pr.c.freeHelperRead(hr)
+	or.helpersLeft--
+	if or.helpersLeft == 0 {
+		or.decode()
+	}
+}
+
+// decode schedules the primary's reconstruction once every helper's bytes
+// have arrived. Sub-chunk transforms per decode: the plan's pattern
+// repeats once per encoding unit.
+func (or *objRepair) decode() {
+	pr := or.pr
+	subOps := or.units * int64(pr.plan.SubChunksRead())
+	service := pr.cm.decodeTime(or.srcBytes, subOps) + pr.cm.RepairOpOverhead
+	pr.primary.cpu.SubmitArg(service, decodeDone, or)
+}
+
+func decodeDone(a any) {
+	or := a.(*objRepair)
+	pr := or.pr
+	c := pr.c
+	obj := or.obj
+	// Reconstruct real bytes when the object has payload.
+	if obj.Payload {
+		if err := c.repairPayload(pr.pool, pr.pg, obj, pr.lostIdx, pr.targets); err != nil {
+			c.log(c.sim.Now(), pr.primary.Host, fmt.Sprintf("pg %d object %s payload repair failed: %v", pr.pg.ID, obj.Name, err))
 		}
 	}
-	pump()
+	or.writesLeft = len(pr.lostIdx)
+	for li := range pr.lostIdx {
+		target := c.osds[pr.targets[li]]
+		w := c.newChunkWrite()
+		w.or, w.li = or, li
+		c.net.TransferArg(pr.primary.Host, target.Host, obj.ChunkSize, writeShipDone, w)
+	}
+}
+
+func writeShipDone(a any) {
+	w := a.(*chunkWrite)
+	or := w.or
+	pr := or.pr
+	target := pr.c.osds[pr.targets[w.li]]
+	idle := target.disk.InFlight() == 0 && target.disk.QueueLen() == 0
+	target.disk.SubmitArg(pr.cm.diskWriteTime(or.obj.ChunkSize, idle), writeDiskDone, w)
+}
+
+func writeDiskDone(a any) {
+	w := a.(*chunkWrite)
+	or := w.or
+	pr := or.pr
+	c := pr.c
+	obj := or.obj
+	target := c.osds[pr.targets[w.li]]
+	if !obj.Payload {
+		name := chunkName(pr.pool.Name, pr.pg.ID, obj.Name, pr.lostIdx[w.li])
+		share := obj.Size / int64(pr.pool.Code.N())
+		if err := target.Store.WriteChunk(name, obj.ChunkSize, share, nil); err != nil {
+			c.log(c.sim.Now(), target.Host, fmt.Sprintf("recovery write failed: %v", err))
+		}
+	}
+	pr.res.WrittenBytes += obj.ChunkSize
+	c.freeChunkWrite(w)
+	or.writesLeft--
+	if or.writesLeft == 0 {
+		or.finish()
+	}
+}
+
+func (or *objRepair) finish() {
+	pr := or.pr
+	pr.res.ObjectRepairs++
+	pr.res.RepairedChunks += len(pr.lostIdx)
+	if len(pr.lostIdx) > 1 {
+		pr.res.FullDecodeObjects++
+	}
+	pr.c.freeObjRepair(or)
+	pr.inFlight--
+	pr.pump()
 }
 
 // reservationOrder returns the unique OSDs a PG must reserve, sorted by

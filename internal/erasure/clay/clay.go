@@ -172,6 +172,21 @@ func (c *Clay) setDigit(z, y, v int) int {
 	return z + (v-old)*c.pow[c.t-1-y]
 }
 
+// padCopy lays src's sub-chunks of scs bytes out in scsPad-byte slots of
+// dst, so every sub-chunk starts on an 8-byte boundary of dst's (aligned)
+// backing array. unpadCopy is the inverse.
+func padCopy(dst, src []byte, scs, scsPad int) {
+	for off, poff := 0, 0; off < len(src); off, poff = off+scs, poff+scsPad {
+		copy(dst[poff:poff+scs], src[off:off+scs])
+	}
+}
+
+func unpadCopy(dst, src []byte, scs, scsPad int) {
+	for off, poff := 0, 0; off < len(dst); off, poff = off+scs, poff+scsPad {
+		copy(dst[off:off+scs], src[poff:poff+scs])
+	}
+}
+
 // mulPair applies a compiled two-source transform: dst = plan(a, b). The
 // scratch pair slice avoids a per-call header allocation on the plane hot
 // loops.
@@ -228,6 +243,35 @@ func (c *Clay) Decode(shards [][]byte) error {
 		return fmt.Errorf("%w: %d lost, max %d", erasure.ErrTooManyErasures, len(missingExt), c.m)
 	}
 	scs := size / c.alpha
+	if scs&7 != 0 {
+		// An odd sub-chunk size leaves every plane slice at an unaligned
+		// offset, forcing the gf256 kernels onto their byte fallback for
+		// the whole decode. Re-run on a copy whose sub-chunks sit in
+		// 8-byte-padded slots (word kernels throughout), then strip the
+		// padding from the recovered shards: GF arithmetic is elementwise,
+		// so the real bytes are identical either way, and the two extra
+		// memmoves are far cheaper than byte-path transforms over every
+		// plane.
+		scsPad := (scs + 7) &^ 7
+		work := make([][]byte, len(shards))
+		for i, s := range shards {
+			if s == nil {
+				continue
+			}
+			w := make([]byte, scsPad*c.alpha)
+			padCopy(w, s, scs, scsPad)
+			work[i] = w
+		}
+		if err := c.Decode(work); err != nil {
+			return err
+		}
+		for _, e := range missingExt {
+			out := make([]byte, size)
+			unpadCopy(out, work[e], scs, scsPad)
+			shards[e] = out
+		}
+		return nil
+	}
 
 	erased := make([]bool, c.nt)
 	for _, e := range missingExt {
@@ -509,6 +553,27 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 		return fmt.Errorf("%w: shard size %d not divisible by alpha=%d", erasure.ErrShardSize, size, c.alpha)
 	}
 	scs := size / c.alpha
+	if scs&7 != 0 {
+		// Same padding detour as Decode: repair on 8-byte-padded sub-chunk
+		// slots so the plane transforms run on the word kernels.
+		scsPad := (scs + 7) &^ 7
+		work := make([][]byte, len(shards))
+		for i, s := range shards {
+			if i == failedExt || s == nil {
+				continue
+			}
+			w := make([]byte, scsPad*c.alpha)
+			padCopy(w, s, scs, scsPad)
+			work[i] = w
+		}
+		if err := c.repairSingle(work, failedExt); err != nil {
+			return err
+		}
+		out := make([]byte, size)
+		unpadCopy(out, work[failedExt], scs, scsPad)
+		shards[failedExt] = out
+		return nil
+	}
 	u0 := c.internalIndex(failedExt)
 	x0, y0 := c.nodeXY(u0)
 	planes := c.repairPlanes(u0)

@@ -182,6 +182,37 @@ func TestRepairSingleMatchesOriginal(t *testing.T) {
 	}
 }
 
+// TestOddSubChunkSizePadding drives the 8-byte padding detour with a
+// realistic odd sub-chunk size (809 bytes, the 4 KB stripe-unit case:
+// 65536/81 rounds to an odd per-plane slice). Encode, repair and full
+// decode must all round-trip exactly; the padded word-kernel path and the
+// unpadded byte path compute the same elementwise GF arithmetic.
+func TestOddSubChunkSizePadding(t *testing.T) {
+	c, err := New(9, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := randShards(t, c, 809, 17)
+	for _, lost := range []int{0, 5, 11} {
+		work := cloneShards(orig)
+		work[lost] = nil
+		if err := c.Repair(work, []int{lost}); err != nil {
+			t.Fatalf("repair shard %d: %v", lost, err)
+		}
+		if !bytes.Equal(work[lost], orig[lost]) {
+			t.Fatalf("odd-scs repair of shard %d produced wrong bytes", lost)
+		}
+	}
+	work := cloneShards(orig)
+	work[2], work[9] = nil, nil
+	if err := c.Decode(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[2], orig[2]) || !bytes.Equal(work[9], orig[9]) {
+		t.Fatal("odd-scs double decode produced wrong bytes")
+	}
+}
+
 // TestRepairReadsOnlyPlannedSubChunks poisons every sub-chunk the repair
 // plan does not list; a correct implementation must still reconstruct the
 // lost shard exactly.

@@ -11,6 +11,25 @@ import (
 // serial versus fanned out over the worker pool. On multi-core machines
 // the speedup tracks the worker count until cells outnumber cores; on a
 // single core it bounds the scheduling overhead of the pool itself.
+// BenchmarkSimEngine measures the discrete-event engine itself: the
+// Figure-2 suite with a single worker, so wall-clock tracks the event
+// loop rather than the experiment fan-out. scale=50 is the quick
+// regression guard; scale=1 is the paper's full 10,000-object workload
+// (the full-fidelity mode) and is the number recorded in BENCH_SIM.json.
+func BenchmarkSimEngine(b *testing.B) {
+	for _, scale := range []int{50, 1} {
+		b.Run(fmt.Sprintf("fig2suite/scale=%d", scale), func(b *testing.B) {
+			prev := parallel.SetWorkers(1)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig2Suite(scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkExperimentCells(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {

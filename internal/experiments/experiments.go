@@ -292,6 +292,24 @@ func Fig2dFailureMode(scale int) (*Figure, error) {
 	return fig, nil
 }
 
+// Fig2Suite runs all four Figure-2 experiments at the given scale and
+// returns the figures in order (2a, 2b, 2c, 2d). Scale 1 is the paper's
+// full 10,000-object workload — the full-fidelity mode exercised by
+// BenchmarkSimEngine and recorded in BENCH_SIM.json.
+func Fig2Suite(scale int) ([]*Figure, error) {
+	figs := make([]*Figure, 0, 4)
+	for _, fn := range []func(int) (*Figure, error){
+		Fig2aBackendCache, Fig2bPlacementGroups, Fig2cStripeUnit, Fig2dFailureMode,
+	} {
+		fig, err := fn(scale)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
 // TimelineResult is the Figure 3 reproduction.
 type TimelineResult struct {
 	Detected         time.Duration // 0 by construction
@@ -483,7 +501,7 @@ func PluginComparison(scale int) ([]PluginRow, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: plugin comparison: %w", err)
 	}
-	var out []PluginRow
+	out := make([]PluginRow, len(configs))
 	for i, cfg := range configs {
 		res := results[i]
 		rec := res.Recovery
@@ -499,19 +517,26 @@ func PluginComparison(scale int) ([]PluginRow, error) {
 				row.NetPerChunk = float64(rec.NetworkBytes-rec.WrittenBytes) / float64(rec.RepairedChunks) / chunkBytes
 			}
 		}
-		code, err := erasure.New(cfg.plugin, cfg.k, cfg.m, cfg.d)
-		if err == nil {
-			rep, derr := durability.Evaluate(code, durability.Params{
-				DeviceAFR: 0.02,
-				MTTRHours: rec.SystemRecoveryTime().Hours(),
-				Samples:   1500,
-				Seed:      7,
-			})
-			if derr == nil {
-				row.DurabilityNines = rep.DurabilityNines
-			}
-		}
-		out = append(out, row)
+		out[i] = row
 	}
+	// The durability Monte Carlo is independent per plugin, so it fans out
+	// over the worker pool; each worker writes only its own index, keeping
+	// the rows input-order stable regardless of scheduling.
+	parallel.ForEach(len(configs), parallel.Workers(), func(i int) {
+		cfg := configs[i]
+		code, err := erasure.New(cfg.plugin, cfg.k, cfg.m, cfg.d)
+		if err != nil {
+			return
+		}
+		rep, derr := durability.Evaluate(code, durability.Params{
+			DeviceAFR: 0.02,
+			MTTRHours: out[i].RecoveryTime.Hours(),
+			Samples:   1500,
+			Seed:      7,
+		})
+		if derr == nil {
+			out[i].DurabilityNines = rep.DurabilityNines
+		}
+	})
 	return out, nil
 }

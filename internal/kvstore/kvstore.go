@@ -53,6 +53,37 @@ func (db *DB) Put(key string, value []byte) {
 	db.puts++
 }
 
+// PutAccounted journals and accounts an entry of the given key and value
+// lengths without materializing it. Bulk synthetic workloads store
+// millions of onode records whose bytes nobody ever reads back; this
+// keeps their WAL/logical/footprint arithmetic identical to Put at zero
+// allocation. The entry is invisible to Get/Scan/Len, so callers must
+// pair it with DeleteAccounted rather than Delete.
+func (db *DB) PutAccounted(keyLen, valueLen int) {
+	db.PutAccountedN(int64(keyLen), int64(valueLen), 1)
+}
+
+// PutAccountedN accounts n invisible entries totalling keyBytes of keys
+// and valueBytes of values in one locked step.
+func (db *DB) PutAccountedN(keyBytes, valueBytes, n int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	entry := keyBytes + valueBytes + n*perEntryOverhead
+	db.walBytes += entry
+	db.logicalBytes += entry
+	db.puts += n
+}
+
+// DeleteAccounted reverses a PutAccounted entry, journaling the tombstone
+// exactly as Delete would.
+func (db *DB) DeleteAccounted(keyLen, valueLen int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.walBytes += int64(keyLen) + perEntryOverhead
+	db.logicalBytes -= int64(keyLen+valueLen) + perEntryOverhead
+	db.deletes++
+}
+
 // Get fetches a key, returning a copy.
 func (db *DB) Get(key string) ([]byte, bool) {
 	db.mu.Lock()

@@ -1,0 +1,227 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHeapOrderingStress drives the 4-ary heap through a few thousand
+// pushes and pops with adversarial (colliding, decreasing-then-increasing)
+// times and checks the pop sequence is the exact (at, seq) total order:
+// times non-decreasing, and same-instant events in scheduling order.
+func TestHeapOrderingStress(t *testing.T) {
+	s := New()
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var fired []stamp
+	// A deterministic LCG; times collide heavily so the seq tiebreak is
+	// exercised on every level of the heap.
+	state := uint64(42)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(next()%97) * time.Millisecond
+		s.At(at, func() { fired = append(fired, stamp{at, i}) })
+	}
+	// Nested scheduling mid-run: events landing between pending ones.
+	s.At(40*time.Millisecond, func() {
+		for j := 0; j < 100; j++ {
+			j := j
+			at := s.Now() + Time(next()%50)*time.Millisecond
+			s.At(at, func() { fired = append(fired, stamp{at, n + j}) })
+		}
+	})
+	s.Run()
+	if len(fired) != n+100 {
+		t.Fatalf("fired %d events, want %d", len(fired), n+100)
+	}
+	for i := 1; i < len(fired); i++ {
+		a, b := fired[i-1], fired[i]
+		if b.at < a.at {
+			t.Fatalf("time went backwards at %d: %v after %v", i, b.at, a.at)
+		}
+		if b.at == a.at && b.seq < a.seq {
+			t.Fatalf("same-instant events out of scheduling order at %d: seq %d after %d", i, b.seq, a.seq)
+		}
+	}
+}
+
+// TestMixedSchedulingSameInstant checks the determinism contract across
+// the different scheduling entry points: At, After, AtArg and AfterArg
+// all consume one sequence number, so same-instant events fire in call
+// order no matter which API scheduled them.
+func TestMixedSchedulingSameInstant(t *testing.T) {
+	s := New()
+	var order []int
+	rec := func(a any) { order = append(order, *a.(*int)) }
+	vals := [6]int{0, 1, 2, 3, 4, 5}
+	s.At(time.Second, func() { order = append(order, vals[0]) })
+	s.AtArg(time.Second, rec, &vals[1])
+	s.After(time.Second, func() { order = append(order, vals[2]) })
+	s.AfterArg(time.Second, rec, &vals[3])
+	s.At(time.Second, func() { order = append(order, vals[4]) })
+	s.AtArg(time.Second, rec, &vals[5])
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-API same-instant order = %v", order)
+		}
+	}
+}
+
+// TestQueueRingWraparound cycles a queue through enough submit/drain
+// rounds that the waiting ring's head wraps past its capacity several
+// times, and grows while wrapped. Completion order must stay FIFO and the
+// stats must match the closed-form values.
+func TestQueueRingWraparound(t *testing.T) {
+	s := New()
+	q := s.NewQueue(1)
+	var finish []int
+	const rounds, burst = 7, 5 // 5 > initial ring of 8 once in flight wraps
+	id := 0
+	for r := 0; r < rounds; r++ {
+		at := Time(r) * 100 * time.Second
+		for b := 0; b < burst; b++ {
+			id++
+			n := id
+			s.At(at, func() {
+				q.Submit(time.Second, func() { finish = append(finish, n) })
+			})
+		}
+	}
+	s.Run()
+	if len(finish) != rounds*burst {
+		t.Fatalf("served %d jobs, want %d", len(finish), rounds*burst)
+	}
+	for i, v := range finish {
+		if v != i+1 {
+			t.Fatalf("jobs completed out of FIFO order: %v", finish)
+		}
+	}
+	if q.JobsServed != rounds*burst {
+		t.Fatalf("JobsServed = %d", q.JobsServed)
+	}
+	// Each round: job i of the burst waits i seconds → 0+1+2+3+4.
+	want := Time(rounds*(0+1+2+3+4)) * time.Second
+	if q.TotalWaiting() != want {
+		t.Fatalf("TotalWaiting = %v, want %v", q.TotalWaiting(), want)
+	}
+	if q.BusyTime != Time(rounds*burst)*time.Second {
+		t.Fatalf("BusyTime = %v", q.BusyTime)
+	}
+}
+
+// TestQueueRingGrowthWhileWrapped forces growWait to fire when the ring's
+// live region straddles the wrap point, which is the case the copy loop
+// has to un-rotate.
+func TestQueueRingGrowthWhileWrapped(t *testing.T) {
+	s := New()
+	q := s.NewQueue(1)
+	var finish []int
+	submit := func(n int) {
+		q.Submit(time.Second, func() { finish = append(finish, n) })
+	}
+	// Fill past the initial ring (8), drain a few to advance head, then
+	// overfill so growth happens with head > 0.
+	for i := 1; i <= 9; i++ {
+		submit(i)
+	}
+	s.At(4*time.Second, func() { // 4 served, head advanced
+		for i := 10; i <= 22; i++ {
+			submit(i)
+		}
+	})
+	s.Run()
+	for i, v := range finish {
+		if v != i+1 {
+			t.Fatalf("order after wrapped growth: %v", finish)
+		}
+	}
+	if len(finish) != 22 {
+		t.Fatalf("served %d", len(finish))
+	}
+}
+
+// TestSemaphoreFIFOWraparound checks grant order across repeated
+// acquire/release cycles that wrap and grow the waiter ring.
+func TestSemaphoreFIFOWraparound(t *testing.T) {
+	s := New()
+	sem := s.NewSemaphore(2)
+	var grants []int
+	for i := 1; i <= 25; i++ {
+		n := i
+		sem.Acquire(func() { grants = append(grants, n) })
+	}
+	if sem.Held() != 2 || sem.Waiting() != 23 {
+		t.Fatalf("held=%d waiting=%d", sem.Held(), sem.Waiting())
+	}
+	for i := 0; i < 23; i++ {
+		sem.Release()
+	}
+	if sem.Waiting() != 0 || sem.Held() != 2 {
+		t.Fatalf("after drain: held=%d waiting=%d", sem.Held(), sem.Waiting())
+	}
+	sem.Release()
+	sem.Release()
+	if sem.Held() != 0 {
+		t.Fatalf("held = %d", sem.Held())
+	}
+	for i, v := range grants {
+		if v != i+1 {
+			t.Fatalf("grants out of FIFO order: %v", grants)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	sem.Release()
+}
+
+// TestArgVariantsDeliverArg checks the fixed-arg entry points pass their
+// argument through untouched.
+func TestArgVariantsDeliverArg(t *testing.T) {
+	s := New()
+	q := s.NewQueue(1)
+	type payload struct{ hits int }
+	p := &payload{}
+	bump := func(a any) { a.(*payload).hits++ }
+	s.AtArg(time.Second, bump, p)
+	s.AfterArg(2*time.Second, bump, p)
+	q.SubmitArg(time.Second, bump, p)
+	q.SubmitArg(time.Second, nil, nil) // nil completion is allowed
+	s.Run()
+	if p.hits != 3 {
+		t.Fatalf("hits = %d", p.hits)
+	}
+}
+
+// TestSteadyStateAllocFree verifies the hot path stays allocation-free
+// once the heap slice, ring and job freelist are warm: scheduling through
+// the *Arg variants and running to empty must not allocate.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	q := s.NewQueue(2)
+	var hits int
+	bump := func(any) { hits++ }
+	load := func() {
+		base := s.Now()
+		for i := 0; i < 32; i++ {
+			s.AtArg(base+Time(i)*time.Millisecond, bump, nil)
+			q.SubmitArg(time.Millisecond, bump, nil)
+		}
+		s.Run()
+	}
+	load() // warm the heap capacity, ring and freelist
+	allocs := testing.AllocsPerRun(10, load)
+	if allocs != 0 {
+		t.Fatalf("steady-state run allocated %.1f times per cycle", allocs)
+	}
+}

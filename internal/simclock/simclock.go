@@ -4,11 +4,21 @@
 // running in real time.
 //
 // Events scheduled for the same instant fire in scheduling order, making
-// runs fully reproducible.
+// runs fully reproducible: the heap orders by (time, sequence number) and
+// every scheduling call — At, After, Queue.Submit — consumes exactly one
+// sequence number, so the firing order is a pure function of the
+// scheduling order regardless of heap internals.
+//
+// The hot path is allocation-free. Events are value-typed entries in an
+// implicit 4-ary min-heap (no container/heap interface boxing), callbacks
+// are fixed-arg pairs (fn func(any), arg any) — func values and pointers
+// are pointer-shaped, so storing them in an `any` does not allocate — and
+// in-service Queue jobs ride pooled nodes recycled through a freelist.
+// The closure-based At/After/Submit signatures remain for cold paths;
+// hot callers use the *Arg variants with a pooled or long-lived argument.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -20,28 +30,25 @@ type Time = time.Duration
 // everything runs on the caller's goroutine inside Run.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events []event // implicit 4-ary min-heap on (at, seq)
 	seq    uint64
+
+	freeJobs *job // freelist of in-service Queue job nodes
 }
 
+// event is one scheduled callback. fn and arg are stored separately so
+// scheduling never allocates: a bound closure would escape to the heap on
+// every call, a func value or pointer stored in an `any` does not.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	fn  func(any)
+	arg any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+func (e *event) before(o *event) bool {
+	return e.at < o.at || (e.at == o.at && e.seq < o.seq)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 // New returns a simulator at time zero.
 func New() *Sim { return &Sim{} }
@@ -49,39 +56,120 @@ func New() *Sim { return &Sim{} }
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
+// callThunk adapts the closure-based scheduling API to the fixed-arg
+// event representation.
+func callThunk(a any) { a.(func())() }
+
 // At schedules fn at absolute time t, which must not be in the past.
-func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		panic(fmt.Sprintf("simclock: scheduling into the past (%v < %v)", t, s.now))
-	}
-	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
-}
+func (s *Sim) At(t Time, fn func()) { s.schedule(t, callThunk, fn) }
+
+// AtArg schedules fn(arg) at absolute time t without allocating.
+func (s *Sim) AtArg(t Time, fn func(any), arg any) { s.schedule(t, fn, arg) }
 
 // After schedules fn d from now. Negative d is treated as zero.
 func (s *Sim) After(d Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	s.At(s.now+d, fn)
+	s.schedule(s.now+d, callThunk, fn)
+}
+
+// AfterArg schedules fn(arg) d from now without allocating. Negative d is
+// treated as zero.
+func (s *Sim) AfterArg(d Time, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+d, fn, arg)
+}
+
+func (s *Sim) schedule(t Time, fn func(any), arg any) {
+	if t < s.now {
+		panic(fmt.Sprintf("simclock: scheduling into the past (%v < %v)", t, s.now))
+	}
+	s.seq++
+	s.events = append(s.events, event{at: t, seq: s.seq, fn: fn, arg: arg})
+	s.siftUp(len(s.events) - 1)
+}
+
+// siftUp restores the heap property from leaf i toward the root. The
+// moving event is held in a register and written once at its final slot.
+func (s *Sim) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
+
+// siftDown restores the heap property from slot i toward the leaves. With
+// four children per node the tree is half as deep as a binary heap, which
+// pays off on the pop-heavy event loop.
+func (s *Sim) siftDown(i int) {
+	h := s.events
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for k := c + 1; k < end; k++ {
+			if h[k].before(&h[m]) {
+				m = k
+			}
+		}
+		if !h[m].before(&e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed so pooled arguments do not leak through the heap's spare capacity.
+func (s *Sim) pop() event {
+	h := s.events
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	s.events = h[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return e
 }
 
 // Run processes events until none remain, returning the final time.
 func (s *Sim) Run() Time {
-	for s.events.Len() > 0 {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 {
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		e.fn(e.arg)
 	}
 	return s.now
 }
 
 // RunUntil processes events with time <= t, then sets the clock to t.
 func (s *Sim) RunUntil(t Time) {
-	for s.events.Len() > 0 && s.events[0].at <= t {
-		e := heap.Pop(&s.events).(event)
+	for len(s.events) > 0 && s.events[0].at <= t {
+		e := s.pop()
 		s.now = e.at
-		e.fn()
+		e.fn(e.arg)
 	}
 	if t > s.now {
 		s.now = t
@@ -89,7 +177,32 @@ func (s *Sim) RunUntil(t Time) {
 }
 
 // Pending reports the number of queued events.
-func (s *Sim) Pending() int { return s.events.Len() }
+func (s *Sim) Pending() int { return len(s.events) }
+
+// job is a pooled in-service Queue entry: it is the heap-event argument
+// for the job's completion, so running a job allocates nothing after the
+// freelist warms up.
+type job struct {
+	q    *Queue
+	fn   func(any)
+	arg  any
+	next *job
+}
+
+func (s *Sim) newJob() *job {
+	if j := s.freeJobs; j != nil {
+		s.freeJobs = j.next
+		j.next = nil
+		return j
+	}
+	return &job{}
+}
+
+func (s *Sim) freeJob(j *job) {
+	j.q, j.fn, j.arg = nil, nil, nil
+	j.next = s.freeJobs
+	s.freeJobs = j
+}
 
 // Queue is a FIFO service center with a fixed number of parallel servers.
 // Jobs are submitted with a service duration; each occupies one server for
@@ -100,18 +213,24 @@ type Queue struct {
 	sim     *Sim
 	servers int
 	busy    int
+
+	// waiting is a power-of-two ring buffer: head indexes the oldest
+	// entry, count the occupancy. Unlike the previous s = s[1:] slice it
+	// neither leaks popped entries nor reallocates on steady-state churn.
 	waiting []queuedJob
+	head    int
+	count   int
 
 	// Stats.
 	JobsServed   int
 	BusyTime     Time // total server-occupied duration
-	lastChange   Time
 	totalWaiting Time
 }
 
 type queuedJob struct {
 	service Time
-	done    func()
+	fn      func(any)
+	arg     any
 	queued  Time
 }
 
@@ -126,39 +245,90 @@ func (s *Sim) NewQueue(servers int) *Queue {
 // Submit enqueues a job with the given service time; done (may be nil)
 // fires at completion.
 func (q *Queue) Submit(service Time, done func()) {
+	if done == nil {
+		q.SubmitArg(service, nil, nil)
+		return
+	}
+	q.SubmitArg(service, callThunk, done)
+}
+
+// SubmitArg enqueues a job whose completion fires fn(arg) (fn may be
+// nil), allocating nothing. It is the hot-path form of Submit.
+func (q *Queue) SubmitArg(service Time, fn func(any), arg any) {
 	if service < 0 {
 		service = 0
 	}
 	if q.busy < q.servers {
-		q.start(service, done)
+		q.start(service, fn, arg)
 		return
 	}
-	q.waiting = append(q.waiting, queuedJob{service: service, done: done, queued: q.sim.Now()})
+	q.pushWait(queuedJob{service: service, fn: fn, arg: arg, queued: q.sim.now})
 }
 
-func (q *Queue) start(service Time, done func()) {
+func (q *Queue) start(service Time, fn func(any), arg any) {
 	q.busy++
 	q.BusyTime += service
-	q.sim.After(service, func() {
-		q.busy--
-		q.JobsServed++
-		if len(q.waiting) > 0 {
-			j := q.waiting[0]
-			q.waiting = q.waiting[1:]
-			q.totalWaiting += q.sim.Now() - j.queued
-			q.start(j.service, j.done)
-		}
-		if done != nil {
-			done()
-		}
-	})
+	j := q.sim.newJob()
+	j.q, j.fn, j.arg = q, fn, arg
+	q.sim.schedule(q.sim.now+service, jobDone, j)
+}
+
+// jobDone is the completion event for every in-service job. The order —
+// free a server, account the completion, promote the oldest waiter, then
+// fire the job's own callback — is load-bearing: promoted work schedules
+// its completion before anything the callback schedules, exactly as the
+// closure-based engine did.
+func jobDone(a any) {
+	j := a.(*job)
+	q := j.q
+	fn, arg := j.fn, j.arg
+	q.sim.freeJob(j)
+	q.busy--
+	q.JobsServed++
+	if q.count > 0 {
+		w := q.popWait()
+		q.totalWaiting += q.sim.now - w.queued
+		q.start(w.service, w.fn, w.arg)
+	}
+	if fn != nil {
+		fn(arg)
+	}
+}
+
+func (q *Queue) pushWait(j queuedJob) {
+	if q.count == len(q.waiting) {
+		q.growWait()
+	}
+	q.waiting[(q.head+q.count)&(len(q.waiting)-1)] = j
+	q.count++
+}
+
+func (q *Queue) popWait() queuedJob {
+	j := q.waiting[q.head]
+	q.waiting[q.head] = queuedJob{}
+	q.head = (q.head + 1) & (len(q.waiting) - 1)
+	q.count--
+	return j
+}
+
+func (q *Queue) growWait() {
+	size := len(q.waiting) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]queuedJob, size)
+	for i := 0; i < q.count; i++ {
+		next[i] = q.waiting[(q.head+i)&(len(q.waiting)-1)]
+	}
+	q.waiting = next
+	q.head = 0
 }
 
 // InFlight reports currently executing jobs.
 func (q *Queue) InFlight() int { return q.busy }
 
 // QueueLen reports jobs waiting for a server.
-func (q *Queue) QueueLen() int { return len(q.waiting) }
+func (q *Queue) QueueLen() int { return q.count }
 
 // TotalWaiting is the cumulative time jobs spent queued before service.
 func (q *Queue) TotalWaiting() Time { return q.totalWaiting }
@@ -169,7 +339,11 @@ func (q *Queue) TotalWaiting() Time { return q.totalWaiting }
 type Semaphore struct {
 	capacity int
 	held     int
-	waiters  []func()
+
+	// waiters is a ring buffer like Queue.waiting.
+	waiters []func()
+	head    int
+	count   int
 }
 
 // NewSemaphore creates a semaphore with the given capacity (>= 1).
@@ -188,7 +362,11 @@ func (sem *Semaphore) Acquire(fn func()) {
 		fn()
 		return
 	}
-	sem.waiters = append(sem.waiters, fn)
+	if sem.count == len(sem.waiters) {
+		sem.growWaiters()
+	}
+	sem.waiters[(sem.head+sem.count)&(len(sem.waiters)-1)] = fn
+	sem.count++
 }
 
 // Release returns a unit, granting the oldest waiter if any.
@@ -196,20 +374,35 @@ func (sem *Semaphore) Release() {
 	if sem.held <= 0 {
 		panic("simclock: Release without Acquire")
 	}
-	if len(sem.waiters) > 0 {
-		next := sem.waiters[0]
-		sem.waiters = sem.waiters[1:]
+	if sem.count > 0 {
+		next := sem.waiters[sem.head]
+		sem.waiters[sem.head] = nil
+		sem.head = (sem.head + 1) & (len(sem.waiters) - 1)
+		sem.count--
 		next()
 		return
 	}
 	sem.held--
 }
 
+func (sem *Semaphore) growWaiters() {
+	size := len(sem.waiters) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]func(), size)
+	for i := 0; i < sem.count; i++ {
+		next[i] = sem.waiters[(sem.head+i)&(len(sem.waiters)-1)]
+	}
+	sem.waiters = next
+	sem.head = 0
+}
+
 // Held reports currently granted units.
 func (sem *Semaphore) Held() int { return sem.held }
 
 // Waiting reports queued acquirers.
-func (sem *Semaphore) Waiting() int { return len(sem.waiters) }
+func (sem *Semaphore) Waiting() int { return sem.count }
 
 // Join is a completion barrier: after n calls to Done, fn fires once.
 type Join struct {

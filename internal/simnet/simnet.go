@@ -19,6 +19,8 @@ type Network struct {
 	latency   simclock.Time
 	hosts     map[string]*hostNIC
 
+	freeTransfers *transfer // pooled in-flight transfer state
+
 	// BytesMoved accumulates all inter-host payload bytes, for
 	// repair-traffic accounting.
 	BytesMoved int64
@@ -73,18 +75,70 @@ func (n *Network) serviceTime(bytes int64) simclock.Time {
 	return simclock.Time(sec * float64(time.Second))
 }
 
+// transfer is the pooled in-flight state of one inter-host transfer: it
+// rides the egress and ingress completion events as their fixed argument,
+// so a transfer allocates nothing once the freelist warms up.
+type transfer struct {
+	n    *Network
+	dst  *hostNIC
+	wire simclock.Time
+	fn   func(any)
+	arg  any
+	next *transfer
+}
+
+func (n *Network) newTransfer() *transfer {
+	if t := n.freeTransfers; t != nil {
+		n.freeTransfers = t.next
+		t.next = nil
+		return t
+	}
+	return &transfer{}
+}
+
+func (n *Network) freeTransfer(t *transfer) {
+	*t = transfer{next: n.freeTransfers}
+	n.freeTransfers = t
+}
+
+func egressDone(a any) {
+	t := a.(*transfer)
+	t.dst.ingress.SubmitArg(t.wire, ingressDone, t)
+}
+
+func ingressDone(a any) {
+	t := a.(*transfer)
+	n, fn, arg := t.n, t.fn, t.arg
+	n.freeTransfer(t)
+	n.sim.AfterArg(n.latency, fn, arg)
+}
+
+func noop(any) {}
+
 // Transfer moves bytes from one host to another, invoking done when the
 // payload has fully arrived. Intra-host transfers skip the NIC and incur
 // only loopback latency.
 func (n *Network) Transfer(from, to string, bytes int64, done func()) {
+	if done == nil {
+		n.TransferArg(from, to, bytes, nil, nil)
+		return
+	}
+	n.TransferArg(from, to, bytes, callThunk, done)
+}
+
+func callThunk(a any) { a.(func())() }
+
+// TransferArg is the allocation-free form of Transfer: fn(arg) fires when
+// the payload has fully arrived (fn may be nil).
+func (n *Network) TransferArg(from, to string, bytes int64, fn func(any), arg any) {
 	if bytes < 0 {
 		panic("simnet: negative transfer")
 	}
-	if done == nil {
-		done = func() {}
+	if fn == nil {
+		fn = noop
 	}
 	if from == to {
-		n.sim.After(n.latency/4, done)
+		n.sim.AfterArg(n.latency/4, fn, arg)
 		return
 	}
 	src, ok := n.hosts[from]
@@ -97,14 +151,12 @@ func (n *Network) Transfer(from, to string, bytes int64, done func()) {
 	}
 	n.BytesMoved += bytes
 	wire := n.serviceTime(bytes)
+	t := n.newTransfer()
+	t.n, t.dst, t.wire, t.fn, t.arg = n, dst, wire, fn, arg
 	// Store-and-forward through sender egress then receiver ingress: both
 	// NICs are occupied for the payload's wire time, so concurrent flows
 	// sharing either end contend there.
-	src.egress.Submit(wire, func() {
-		dst.ingress.Submit(wire, func() {
-			n.sim.After(n.latency, done)
-		})
-	})
+	src.egress.SubmitArg(wire, egressDone, t)
 }
 
 // HostUtilization returns cumulative egress and ingress busy time for a

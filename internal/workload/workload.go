@@ -6,6 +6,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"unsafe"
 )
 
 // Object is one object write in the workload.
@@ -65,27 +66,59 @@ func (s Spec) Validate() error {
 // TotalBytes returns the workload's nominal write volume.
 func (s Spec) TotalBytes() int64 { return int64(s.Count) * s.ObjectSize }
 
-// Objects generates the object list deterministically.
+// Objects generates the object list deterministically. The inner loop is
+// allocation-free: every name ("<prefix>-<7 digits>", the width fmt used
+// to produce) is a slice of one shared backing buffer filled up front,
+// and the jitter RNG is only constructed when jitter is in play.
 func (s Spec) Objects() ([]Object, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
 	prefix := s.NamePrefix
 	if prefix == "" {
 		prefix = "obj"
 	}
+	nameLen := len(prefix) + 1 + digitsFor(s.Count-1)
+	names := make([]byte, s.Count*nameLen)
 	out := make([]Object, s.Count)
+
+	var rng *rand.Rand
+	if s.SizeJitter > 0 {
+		rng = rand.New(rand.NewSource(s.Seed))
+	}
 	for i := range out {
+		base := i * nameLen
+		copy(names[base:], prefix)
+		names[base+len(prefix)] = '-'
+		v := i
+		for d := base + nameLen - 1; d > base+len(prefix); d-- {
+			names[d] = byte('0' + v%10)
+			v /= 10
+		}
 		size := s.ObjectSize
-		if s.SizeJitter > 0 {
+		if rng != nil {
 			f := 1 + s.SizeJitter*(2*rng.Float64()-1)
 			size = int64(float64(size) * f)
 			if size < 1 {
 				size = 1
 			}
 		}
-		out[i] = Object{Name: fmt.Sprintf("%s-%07d", prefix, i), Size: size}
+		// The backing buffer is write-once, so exposing slices of it as
+		// strings is safe.
+		out[i] = Object{Name: unsafe.String(&names[base], nameLen), Size: size}
 	}
 	return out, nil
+}
+
+// digitsFor returns the digit count of max, at least the 7 the historical
+// %07d name format always produced (names sort lexically either way).
+func digitsFor(max int) int {
+	n := 1
+	for v := max; v >= 10; v /= 10 {
+		n++
+	}
+	if n < 7 {
+		n = 7
+	}
+	return n
 }
