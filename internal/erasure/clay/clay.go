@@ -22,12 +22,21 @@ package clay
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/erasure"
 	"repro/internal/erasure/kernel"
 	"repro/internal/gf256"
 	"repro/internal/gfmat"
 )
+
+// smallSubChunk is the sub-chunk size below which the per-plane solves use
+// the direct row path (plain coefficient-slice ops) instead of the
+// compiled kernel.Program, and below which odd sizes skip the 8-byte
+// padding detour: at ~50 B sub-chunks (4 KiB shards, alpha=81) the program
+// chunking, padding copies, and cache bookkeeping cost more than the
+// arithmetic they accelerate.
+const smallSubChunk = 256
 
 // gamma is the coupling coefficient of the pairwise transforms. Any value
 // outside {0, 1} yields an invertible transform; 2 matches the generator
@@ -172,6 +181,15 @@ func (c *Clay) setDigit(z, y, v int) int {
 	return z + (v-old)*c.pow[c.t-1-y]
 }
 
+// padWorthwhile reports whether decode/repair should re-run on 8-byte
+// padded sub-chunk slots: only when the sub-chunk size is odd and the
+// active gf256 backend actually needs alignment — the SIMD tiers load
+// unaligned, so for them the copies are pure overhead at every size, while
+// the word kernels fall to their byte path without the padding.
+func padWorthwhile(scs int) bool {
+	return scs&7 != 0 && !gf256.Vectorized()
+}
+
 // padCopy lays src's sub-chunks of scs bytes out in scsPad-byte slots of
 // dst, so every sub-chunk starts on an 8-byte boundary of dst's (aligned)
 // backing array. unpadCopy is the inverse.
@@ -243,15 +261,16 @@ func (c *Clay) Decode(shards [][]byte) error {
 		return fmt.Errorf("%w: %d lost, max %d", erasure.ErrTooManyErasures, len(missingExt), c.m)
 	}
 	scs := size / c.alpha
-	if scs&7 != 0 {
+	if padWorthwhile(scs) {
 		// An odd sub-chunk size leaves every plane slice at an unaligned
-		// offset, forcing the gf256 kernels onto their byte fallback for
+		// offset, forcing the word kernels onto their byte fallback for
 		// the whole decode. Re-run on a copy whose sub-chunks sit in
 		// 8-byte-padded slots (word kernels throughout), then strip the
 		// padding from the recovered shards: GF arithmetic is elementwise,
 		// so the real bytes are identical either way, and the two extra
 		// memmoves are far cheaper than byte-path transforms over every
-		// plane.
+		// plane. The SIMD backends load unaligned, and below smallSubChunk
+		// the copies outweigh the arithmetic, so both skip the detour.
 		scsPad := (scs + 7) &^ 7
 		work := make([][]byte, len(shards))
 		for i, s := range shards {
@@ -383,22 +402,33 @@ func (c *Clay) planeDecoder(erased []bool) (*planeSolver, error) {
 		for i, l := range lost {
 			rows[i] = c.base.SubMatrix([]int{l}).Mul(inv).Row(0)
 		}
-		return &planeSolver{survivors: survivors, lost: lost, prog: kernel.Compile(rows)}, nil
+		return &planeSolver{survivors: survivors, lost: lost, rows: rows}, nil
 	})
 }
 
 // planeSolver recovers erased uncoupled symbols within one plane from the
-// first kInt surviving symbols.
+// first kInt surviving symbols. Only the inverted reconstruction rows are
+// built eagerly (that is the expensive, always-needed part); the
+// kernel.Program is compiled on first use with a sub-chunk size worth
+// program chunking, so small-sub-chunk workloads never pay for it.
 type planeSolver struct {
-	survivors []int // kInt surviving node indices used as inputs
-	lost      []int // erased node indices
-	prog      *kernel.Program
+	survivors []int    // kInt surviving node indices used as inputs
+	lost      []int    // erased node indices
+	rows      [][]byte // reconstruction rows, survivor symbols -> lost symbol
+
+	planOnce sync.Once
+	plans    []*gf256.RowPlan // direct row path for small sub-chunks
+
+	progOnce sync.Once
+	prog     *kernel.Program
 }
 
 // solve runs the plane's MDS reconstruction: for each lost node, its U
 // sub-slice (select(lost node)) is overwritten with the combination of the
 // survivor sub-slices. srcs/dsts are caller scratch of lengths
-// len(survivors) and len(lost).
+// len(survivors) and len(lost). Sub-chunks below smallSubChunk apply the
+// reconstruction rows directly with coefficient-slice ops; the result is
+// byte-identical either way because GF arithmetic is elementwise.
 func (dec *planeSolver) solve(srcs, dsts [][]byte, sel func(u int) []byte) {
 	if len(dec.lost) == 0 {
 		return
@@ -409,6 +439,21 @@ func (dec *planeSolver) solve(srcs, dsts [][]byte, sel func(u int) []byte) {
 	for li, l := range dec.lost {
 		dsts[li] = sel(l)
 	}
+	if len(dsts[0]) < smallSubChunk {
+		// Direct row path: one fused row kernel per lost symbol, no
+		// program chunking or worker dispatch.
+		dec.planOnce.Do(func() {
+			dec.plans = make([]*gf256.RowPlan, len(dec.rows))
+			for i, row := range dec.rows {
+				dec.plans[i] = gf256.CompileRow(row)
+			}
+		})
+		for li, plan := range dec.plans {
+			plan.Mul(srcs, dsts[li])
+		}
+		return
+	}
+	dec.progOnce.Do(func() { dec.prog = kernel.Compile(dec.rows) })
 	dec.prog.Run(srcs, dsts, true)
 }
 
@@ -553,7 +598,7 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 		return fmt.Errorf("%w: shard size %d not divisible by alpha=%d", erasure.ErrShardSize, size, c.alpha)
 	}
 	scs := size / c.alpha
-	if scs&7 != 0 {
+	if padWorthwhile(scs) {
 		// Same padding detour as Decode: repair on 8-byte-padded sub-chunk
 		// slots so the plane transforms run on the word kernels.
 		scsPad := (scs + 7) &^ 7

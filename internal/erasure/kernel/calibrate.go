@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/gf256"
+	"repro/internal/parallel"
+)
+
+// Program chunking was originally tuned by hand for one core (16 KiB
+// chunks, 64 KiB parallel threshold). Those numbers are now only the
+// fallback: the first Run derives both from the machine — a one-shot
+// microprobe times the active gf256 backend at candidate chunk sizes and
+// measures worker-pool handoff, and runtime.NumCPU scales the parallel
+// threshold. Environment overrides pin either value for reproducible
+// benchmarking:
+//
+//	ECFAULT_CHUNK=bytes     stripe chunk processed per pass over all rows
+//	ECFAULT_PARALLEL=bytes  min rows*stripe work before fanning out
+//
+// The choice never affects output bytes — every chunking of a Program run
+// is byte-identical by construction — only throughput.
+const (
+	defaultChunkBytes        = 16 << 10
+	defaultParallelThreshold = 64 << 10
+
+	minChunkBytes = 4 << 10
+	maxChunkBytes = 256 << 10
+
+	minParallelThreshold = 32 << 10
+	maxParallelThreshold = 8 << 20
+)
+
+var tuningOnce = sync.OnceValues(func() (int, int) {
+	return computeTuning(runtime.NumCPU(), os.Getenv("ECFAULT_CHUNK"), os.Getenv("ECFAULT_PARALLEL"))
+})
+
+// tuning returns the calibrated (chunkBytes, parallelThreshold) pair,
+// probing on first use.
+func tuning() (int, int) { return tuningOnce() }
+
+// Tuning exposes the calibrated chunk size and parallel threshold (tests,
+// benchmarks, and diagnostics; the hot path uses the internal accessor).
+func Tuning() (chunkBytes, parallelThreshold int) { return tuning() }
+
+// computeTuning resolves the chunk size and parallel threshold from the
+// env overrides, running the microprobe only for values not pinned.
+func computeTuning(ncpu int, chunkEnv, parEnv string) (chunk, thresh int) {
+	chunk = clampEnvBytes(chunkEnv, minChunkBytes, maxChunkBytes)
+	thresh = clampEnvBytes(parEnv, minParallelThreshold, maxParallelThreshold)
+	if chunk > 0 && thresh > 0 {
+		return chunk, thresh
+	}
+	pc, pt := probeTuning(ncpu)
+	if chunk <= 0 {
+		chunk = pc
+	}
+	if thresh <= 0 {
+		thresh = pt
+	}
+	return chunk, thresh
+}
+
+// clampEnvBytes parses an integer byte count from an env value, clamping
+// into [lo, hi]. Empty or invalid values return 0 (not set).
+func clampEnvBytes(v string, lo, hi int) int {
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return min(max(n, lo), hi)
+}
+
+// probeTuning times a representative program (three parity rows over nine
+// sources, the paper's RS(12,9) shape) across candidate chunk sizes and
+// picks the fastest, then prices worker handoff to place the parallel
+// threshold. Total budget is a few milliseconds, paid once per process.
+func probeTuning(ncpu int) (chunk, thresh int) {
+	const stripe = 128 << 10
+	const width, rows = 9, 3
+	srcs := make([][]byte, width)
+	for j := range srcs {
+		srcs[j] = make([]byte, stripe)
+		for i := range srcs[j] {
+			srcs[j][i] = byte(i*31 + j*7 + 1)
+		}
+	}
+	dsts := make([][]byte, rows)
+	rowCoeffs := make([][]byte, rows)
+	for i := range dsts {
+		dsts[i] = make([]byte, stripe)
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = gf256.Exp(i*width + j)
+		}
+		rowCoeffs[i] = row
+	}
+	prog := Compile(rowCoeffs)
+
+	chunk = defaultChunkBytes
+	best := time.Duration(1<<63 - 1)
+	var bestBytesPerNs float64
+	for _, cand := range []int{8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		// One warm pass per candidate, then the timed pass; keep the
+		// fastest so a stray scheduler hiccup cannot pick a bad chunk.
+		elapsed := best
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			prog.runRange(srcs, dsts, 0, stripe, true, cand)
+			if d := time.Since(start); d < elapsed {
+				elapsed = d
+			}
+		}
+		if elapsed < best {
+			best = elapsed
+			chunk = cand
+			bestBytesPerNs = float64(rows) * stripe / float64(max(int(elapsed.Nanoseconds()), 1))
+		}
+	}
+
+	// Price a pool dispatch, then require the fanned-out work to be worth
+	// several dispatches per worker so handoff stays in the noise.
+	const dispatches = 32
+	start := time.Now()
+	for i := 0; i < dispatches; i++ {
+		parallel.ForEach(2, 2, func(int) {})
+	}
+	handoffNs := float64(time.Since(start).Nanoseconds()) / dispatches
+	thresh = int(handoffNs * bestBytesPerNs * 8 * float64(max(ncpu, 1)))
+	return chunk, min(max(thresh, minParallelThreshold), maxParallelThreshold)
+}

@@ -1,0 +1,51 @@
+package kernel
+
+import "testing"
+
+func TestComputeTuningEnvOverrides(t *testing.T) {
+	chunk, thresh := computeTuning(4, "32768", "1048576")
+	if chunk != 32768 {
+		t.Fatalf("chunk override: got %d, want 32768", chunk)
+	}
+	if thresh != 1048576 {
+		t.Fatalf("threshold override: got %d, want 1048576", thresh)
+	}
+}
+
+func TestComputeTuningClampsEnv(t *testing.T) {
+	chunk, thresh := computeTuning(1, "64", "1")
+	if chunk != minChunkBytes {
+		t.Fatalf("tiny chunk not clamped: got %d, want %d", chunk, minChunkBytes)
+	}
+	if thresh != minParallelThreshold {
+		t.Fatalf("tiny threshold not clamped: got %d, want %d", thresh, minParallelThreshold)
+	}
+	chunk, thresh = computeTuning(1, "99999999", "999999999999")
+	if chunk != maxChunkBytes {
+		t.Fatalf("huge chunk not clamped: got %d, want %d", chunk, maxChunkBytes)
+	}
+	if thresh != maxParallelThreshold {
+		t.Fatalf("huge threshold not clamped: got %d, want %d", thresh, maxParallelThreshold)
+	}
+}
+
+func TestComputeTuningInvalidEnvFallsBackToProbe(t *testing.T) {
+	chunk, thresh := computeTuning(2, "not-a-number", "")
+	if chunk < minChunkBytes || chunk > maxChunkBytes {
+		t.Fatalf("probed chunk %d outside [%d, %d]", chunk, minChunkBytes, maxChunkBytes)
+	}
+	if thresh < minParallelThreshold || thresh > maxParallelThreshold {
+		t.Fatalf("probed threshold %d outside [%d, %d]", thresh, minParallelThreshold, maxParallelThreshold)
+	}
+}
+
+func TestTuningStable(t *testing.T) {
+	c1, t1 := Tuning()
+	c2, t2 := Tuning()
+	if c1 != c2 || t1 != t2 {
+		t.Fatalf("tuning not stable across calls: (%d,%d) then (%d,%d)", c1, t1, c2, t2)
+	}
+	if c1 < minChunkBytes || t1 < minParallelThreshold {
+		t.Fatalf("tuning out of range: chunk=%d threshold=%d", c1, t1)
+	}
+}

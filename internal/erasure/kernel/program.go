@@ -5,16 +5,12 @@ import (
 	"repro/internal/parallel"
 )
 
-// chunkBytes is the stripe range a worker (or the serial loop) processes
-// per pass over all output rows. Within one chunk every output row reads
-// the same source window, so for multi-parity codes the sources are
-// fetched from memory once per chunk instead of once per row. 16 KiB
-// keeps k source windows L2-resident for the geometries in the paper.
-const chunkBytes = 16 << 10
-
-// parallelThreshold is the minimum total output work (rows x bytes) worth
-// fanning out to the worker pool; below it goroutine handoff dominates.
-const parallelThreshold = 64 << 10
+// The stripe range a worker (or the serial loop) processes per pass over
+// all output rows — within one chunk every output row reads the same
+// source window, so for multi-parity codes the sources are fetched from
+// memory once per chunk instead of once per row — and the minimum total
+// output work (rows x bytes) worth fanning out to the worker pool are
+// both machine-calibrated on first use; see calibrate.go.
 
 // Program is a coding matrix compiled into executable row plans: one plan
 // per output row, each mapping the same source shard slots to one
@@ -98,6 +94,7 @@ func (p *Program) run(srcs, dsts [][]byte, overwrite bool, workers int) {
 		panic("kernel: source count does not match program width")
 	}
 	size := len(dsts[0])
+	chunkBytes, parallelThreshold := tuning()
 	if workers > 1 && len(p.plans)*size >= parallelThreshold {
 		nChunks := (size + chunkBytes - 1) / chunkBytes
 		if workers > nChunks {
@@ -115,16 +112,16 @@ func (p *Program) run(srcs, dsts [][]byte, overwrite bool, workers int) {
 			if off >= end {
 				return
 			}
-			p.runRange(srcs, dsts, off, end, overwrite)
+			p.runRange(srcs, dsts, off, end, overwrite, chunkBytes)
 		})
 		return
 	}
-	p.runRange(srcs, dsts, 0, size, overwrite)
+	p.runRange(srcs, dsts, 0, size, overwrite, chunkBytes)
 }
 
 // runRange processes dst bytes [off, end) chunk by chunk, all rows per
 // chunk.
-func (p *Program) runRange(srcs, dsts [][]byte, off, end int, overwrite bool) {
+func (p *Program) runRange(srcs, dsts [][]byte, off, end int, overwrite bool, chunkBytes int) {
 	for off < end {
 		n := end - off
 		if n > chunkBytes {

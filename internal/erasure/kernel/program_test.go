@@ -63,6 +63,7 @@ func TestProgramMatchesScalar(t *testing.T) {
 // the serial pass across worker counts and sizes, including sizes that
 // do not divide evenly into chunks or words.
 func TestProgramParallelIdentical(t *testing.T) {
+	_, parallelThreshold := Tuning()
 	for _, size := range []int{parallelThreshold, 64<<10 + 5, 256<<10 + 1} {
 		rows, srcs, serial, par := randomCase(t, 3, 9, size, int64(size)*7)
 		p := Compile(rows)

@@ -1,0 +1,108 @@
+package gf256
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Row-kernel backends, ordered from weakest to strongest. Dispatch picks
+// the strongest backend the hardware (and build tags) support, and the
+// chain degrades one tier at a time: GFNI -> AVX2 -> word -> scalar.
+//
+//   - scalar: byte-at-a-time product-table loop (the tail path).
+//   - word:   pure-Go SWAR bit-plane Horner over 64-bit words.
+//   - avx2:   split-nibble VPSHUFB row kernel, 32 bytes per step.
+//   - gfni:   VGF2P8AFFINEQB row kernel, one affine multiply per 32 bytes.
+//
+// The amd64 assembly backends live behind the `purego` build tag; building
+// with -tags purego (or running on another architecture) caps the chain at
+// the word kernels. At runtime the ECFAULT_NOSIMD environment variable
+// lowers the cap without rebuilding:
+//
+//	ECFAULT_NOSIMD=avx2    disable GFNI, keep AVX2
+//	ECFAULT_NOSIMD=word    disable all SIMD (also: 1, true, or any other value)
+//	ECFAULT_NOSIMD=scalar  force the byte-at-a-time reference path
+const (
+	backendScalar int32 = iota
+	backendWord
+	backendAVX2
+	backendGFNI
+)
+
+var backendNames = [...]string{"scalar", "word", "avx2", "gfni"}
+
+// activeBackend is the backend RowPlan.Apply dispatches on. It is set in
+// init from the hardware cap and ECFAULT_NOSIMD, and mutated only by
+// SetBackend (tests and benchmarks).
+var activeBackend atomic.Int32
+
+func init() {
+	activeBackend.Store(capBackend(hwBackend(), os.Getenv("ECFAULT_NOSIMD")))
+}
+
+// capBackend applies the ECFAULT_NOSIMD cap to the hardware backend.
+func capBackend(hw int32, env string) int32 {
+	cap := hw
+	switch env {
+	case "":
+		// no cap
+	case "gfni":
+		cap = backendGFNI
+	case "avx2":
+		cap = backendAVX2
+	case "scalar":
+		cap = backendScalar
+	default:
+		// "1", "true", "word", and anything unrecognised all mean
+		// "no SIMD": fail safe to the portable word kernels.
+		cap = backendWord
+	}
+	if cap > hw {
+		cap = hw
+	}
+	return cap
+}
+
+// currentBackend returns the backend Apply dispatches on.
+func currentBackend() int32 { return activeBackend.Load() }
+
+// Backend returns the name of the active row-kernel backend: "gfni",
+// "avx2", "word", or "scalar".
+func Backend() string { return backendNames[currentBackend()] }
+
+// Vectorized reports whether the active backend runs vector kernels with
+// unaligned loads. Callers that pad or realign buffers purely to keep the
+// word kernels on their aligned fast path (Clay's sub-chunk slots) can
+// skip that work when this is true.
+func Vectorized() bool { return currentBackend() >= backendAVX2 }
+
+// Backends returns the names of every backend available in this build on
+// this machine, strongest first. The weaker tiers are always present: they
+// are the fallback chain.
+func Backends() []string {
+	out := make([]string, 0, 4)
+	for b := hwBackend(); b >= backendScalar; b-- {
+		out = append(out, backendNames[b])
+	}
+	return out
+}
+
+// SetBackend forces the named backend and returns a function restoring the
+// previous one. It errors if the backend is not available in this build on
+// this machine. It is meant for tests and benchmarks comparing tiers; the
+// swap is atomic but callers running concurrent kernels should not expect
+// a mid-flight Apply to switch over.
+func SetBackend(name string) (restore func(), err error) {
+	for i, n := range backendNames {
+		if n != name {
+			continue
+		}
+		if int32(i) > hwBackend() {
+			return nil, fmt.Errorf("gf256: backend %q not available (have %q)", name, backendNames[hwBackend()])
+		}
+		prev := activeBackend.Swap(int32(i))
+		return func() { activeBackend.Store(prev) }, nil
+	}
+	return nil, fmt.Errorf("gf256: unknown backend %q", name)
+}

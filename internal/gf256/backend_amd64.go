@@ -1,0 +1,216 @@
+//go:build amd64 && !purego
+
+package gf256
+
+import "sync"
+
+// Hardware capability probing and the per-coefficient constant tables the
+// SIMD row kernels consume. The kernels themselves are in row_amd64.s; the
+// split-nibble layout and the affine-matrix construction are documented in
+// DESIGN.md ("SIMD backend").
+
+// cpuidAsm executes CPUID with the given leaf/subleaf.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbvAsm() (eax, edx uint32)
+
+// gfniRowAsm computes dst[i] (^)= XOR_j affine(mats[j], srcs[j][i]) over
+// [0, n) for n a positive multiple of 32. xor != 0 accumulates into dst,
+// xor == 0 overwrites. srcs points at nsrc segment base pointers.
+//
+//go:noescape
+func gfniRowAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, n int, xor int)
+
+// avx2RowAsm is gfniRowAsm with 64-byte split-nibble tables (low 32 bytes:
+// products of the low nibble; high 32: products of the high nibble).
+//
+//go:noescape
+func avx2RowAsm(tbls *byte, srcs **byte, nsrc int, dst *byte, n int, xor int)
+
+var hwLevel = sync.OnceValue(detectHW)
+
+// hwBackend returns the strongest backend this machine supports.
+func hwBackend() int32 { return hwLevel() }
+
+func detectHW() int32 {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return backendWord
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return backendWord
+	}
+	if xlo, _ := xgetbvAsm(); xlo&0x6 != 0x6 {
+		return backendWord // OS does not preserve YMM state
+	}
+	_, b7, c7, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5 // EBX
+	const gfni = 1 << 8 // ECX
+	if b7&avx2 == 0 {
+		return backendWord
+	}
+	// The Go assembler emits the VEX form of VGF2P8AFFINEQB on ymm
+	// operands (verified via objdump: C4-prefixed), which needs only
+	// GFNI + AVX — no AVX-512 state beyond the YMM save already checked.
+	if c7&gfni != 0 {
+		return backendGFNI
+	}
+	return backendAVX2
+}
+
+// Per-coefficient kernel constants, built once the first time a RowPlan is
+// compiled with SIMD available. 256 x 64 B nibble tables (16 KiB) plus
+// 256 affine matrices (2 KiB); RowPlans reference them by value copy so
+// each plan's constants are contiguous for the assembly inner loop.
+var (
+	simdTablesOnce sync.Once
+	nibTables      [256][64]byte
+	gfniMats       [256]uint64
+)
+
+func buildSIMDTables() {
+	for c := 0; c < 256; c++ {
+		t := &nibTables[c]
+		for i := 0; i < 16; i++ {
+			lo := Mul(byte(c), byte(i))
+			hi := Mul(byte(c), byte(i<<4))
+			// Each 16-byte VPSHUFB table is doubled to span a ymm lane pair.
+			t[i], t[16+i] = lo, lo
+			t[32+i], t[48+i] = hi, hi
+		}
+		gfniMats[c] = gfniMatrix(byte(c))
+	}
+}
+
+// gfniMatrix returns the 8x8 bit matrix M with VGF2P8AFFINEQB(M, x) ==
+// Mul(c, x) for every byte x. Per the instruction's semantics, output bit
+// i of each byte is the parity of (matrix byte 7-i AND input byte), so
+// matrix byte b must hold, at bit j, bit 7-b of c*x^j.
+func gfniMatrix(c byte) uint64 {
+	var m uint64
+	for b := 0; b < 8; b++ {
+		var row byte
+		for j := 0; j < 8; j++ {
+			if Mul(c, 1<<j)>>(7-b)&1 == 1 {
+				row |= 1 << j
+			}
+		}
+		m |= uint64(row) << (8 * b)
+	}
+	return m
+}
+
+// simdCompile attaches the per-coefficient kernel constants for the plan's
+// non-zero coefficients. Constants are built from the hardware cap, not
+// the active backend, so plans compiled while ECFAULT_NOSIMD (or a test
+// override) lowers the chain still work after SetBackend raises it.
+func simdCompile(rp *RowPlan) {
+	if hwBackend() < backendAVX2 {
+		return
+	}
+	simdTablesOnce.Do(buildSIMDTables)
+	rp.nzTbl = make([]byte, 0, len(rp.nzSrc)*64)
+	rp.nzMat = make([]uint64, 0, len(rp.nzSrc))
+	for _, j := range rp.nzSrc {
+		c := rp.coeffs[j]
+		rp.nzTbl = append(rp.nzTbl, nibTables[c][:]...)
+		rp.nzMat = append(rp.nzMat, gfniMats[c])
+	}
+}
+
+// applySIMD runs the vectorized row kernel over dst[off:end). The SIMD
+// loads are unaligned, so arbitrary shard offsets (Clay sub-slices, fuzzed
+// alignments) take the same path. A sub-32-byte remainder of a segment
+// that is itself >= 32 bytes is finished by re-running the kernel over the
+// overlapping final 32-byte window into a scratch buffer and merging only
+// the new bytes, so the scalar tail handles nothing but segments shorter
+// than one vector.
+func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite bool, backend int32) {
+	if end-off < 32 {
+		rp.tail(srcs, dst, off, end, overwrite)
+		return
+	}
+	var ptrBuf [32]*byte
+	ptrs := ptrBuf[:0]
+	if len(rp.nzSrc) > len(ptrBuf) {
+		ptrs = make([]*byte, 0, len(rp.nzSrc))
+	}
+	for _, j := range rp.nzSrc {
+		ptrs = append(ptrs, &srcs[j][off])
+	}
+	xor := 1
+	if overwrite {
+		xor = 0
+	}
+	n := (end - off) &^ 31
+	if backend == backendGFNI {
+		gfniRowAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &dst[off], n, xor)
+	} else {
+		avx2RowAsm(&rp.nzTbl[0], &ptrs[0], len(ptrs), &dst[off], n, xor)
+	}
+	if rem := end - off - n; rem > 0 {
+		w := end - 32 // overlapping final window, w >= off
+		for i, j := range rp.nzSrc {
+			ptrs[i] = &srcs[j][w]
+		}
+		var tmp [32]byte
+		if backend == backendGFNI {
+			gfniRowAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &tmp[0], 32, 0)
+		} else {
+			avx2RowAsm(&rp.nzTbl[0], &ptrs[0], len(ptrs), &tmp[0], 32, 0)
+		}
+		tail := dst[off+n : end]
+		if overwrite {
+			copy(tail, tmp[32-rem:])
+		} else {
+			for i, v := range tmp[32-rem:] {
+				tail[i] ^= v
+			}
+		}
+	}
+}
+
+// simdMulAddSlice is the single-coefficient entry used by MulAddSlice and
+// MulSlice for c outside {0, 1}: one source, the shared per-coefficient
+// constants. Returns false when the active backend has no SIMD.
+func simdMulAddSlice(c byte, src, dst []byte, overwrite bool) bool {
+	b := currentBackend()
+	if b < backendAVX2 || len(dst) < 32 {
+		return false
+	}
+	simdTablesOnce.Do(buildSIMDTables)
+	n := len(dst) &^ 31
+	ptr := &src[0]
+	xor := 1
+	if overwrite {
+		xor = 0
+	}
+	if b == backendGFNI {
+		gfniRowAsm(&gfniMats[c], &ptr, 1, &dst[0], n, xor)
+	} else {
+		avx2RowAsm(&nibTables[c][0], &ptr, 1, &dst[0], n, xor)
+	}
+	if rem := len(dst) - n; rem > 0 {
+		// Same overlapping-window trick as applySIMD for the remainder.
+		var tmp [32]byte
+		wptr := &src[len(src)-32]
+		if b == backendGFNI {
+			gfniRowAsm(&gfniMats[c], &wptr, 1, &tmp[0], 32, 0)
+		} else {
+			avx2RowAsm(&nibTables[c][0], &wptr, 1, &tmp[0], 32, 0)
+		}
+		tail := dst[n:]
+		if overwrite {
+			copy(tail, tmp[32-rem:])
+		} else {
+			for i, v := range tmp[32-rem:] {
+				tail[i] ^= v
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,22 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Without the amd64 assembly (other architectures, or the purego build
+// tag) the chain caps at the portable word kernels; the dispatch constants
+// and ECFAULT_NOSIMD handling are unchanged, so scalar can still be forced
+// for reference runs.
+
+// hwBackend returns the strongest backend this build supports.
+func hwBackend() int32 { return backendWord }
+
+// simdCompile is a no-op: there are no kernel constants to attach.
+func simdCompile(rp *RowPlan) {}
+
+// applySIMD is unreachable: currentBackend never exceeds backendWord here.
+func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite bool, backend int32) {
+	panic("gf256: SIMD backend selected without assembly support")
+}
+
+// simdMulAddSlice reports that no SIMD single-coefficient kernel exists.
+func simdMulAddSlice(c byte, src, dst []byte, overwrite bool) bool { return false }

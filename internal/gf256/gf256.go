@@ -113,7 +113,9 @@ func MulSlice(c byte, src, dst []byte) {
 	case 1:
 		copy(dst, src)
 	default:
-		mulSliceRef(c, src, dst)
+		if !simdMulAddSlice(c, src, dst, true) {
+			mulSliceRef(c, src, dst)
+		}
 	}
 }
 
@@ -128,7 +130,9 @@ func MulAddSlice(c byte, src, dst []byte) {
 	case 1:
 		xorWords(src, dst)
 	default:
-		mulAddSliceRef(c, src, dst)
+		if !simdMulAddSlice(c, src, dst, false) {
+			mulAddSliceRef(c, src, dst)
+		}
 	}
 }
 

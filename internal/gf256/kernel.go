@@ -78,6 +78,14 @@ type RowPlan struct {
 	coeffs []byte     // original row, for the scalar tail
 	bits   [8][]int32 // bits[b] = source indices with bit b set, b = 0 is LSB
 	maxBit int        // highest b with a non-empty list, -1 if the row is zero
+
+	// SIMD program: the non-zero columns in source order, plus their
+	// per-coefficient kernel constants packed contiguously for the
+	// assembly inner loop (64-byte split-nibble tables for AVX2, 8-byte
+	// affine matrices for GFNI). Empty off amd64 / under purego.
+	nzSrc []int32
+	nzTbl []byte
+	nzMat []uint64
 }
 
 // CompileRow compiles a coefficient row. Zero coefficients vanish from the
@@ -86,6 +94,9 @@ type RowPlan struct {
 func CompileRow(coeffs []byte) *RowPlan {
 	rp := &RowPlan{coeffs: append([]byte(nil), coeffs...), maxBit: -1}
 	for j, c := range coeffs {
+		if c != 0 {
+			rp.nzSrc = append(rp.nzSrc, int32(j))
+		}
 		for b := 0; b < 8; b++ {
 			if c>>b&1 == 1 {
 				rp.bits[b] = append(rp.bits[b], int32(j))
@@ -95,6 +106,7 @@ func CompileRow(coeffs []byte) *RowPlan {
 			}
 		}
 	}
+	simdCompile(rp)
 	return rp
 }
 
@@ -133,6 +145,16 @@ func (rp *RowPlan) Apply(srcs [][]byte, dst []byte, off, end int, overwrite bool
 		if overwrite {
 			clear(dst[off:end])
 		}
+		return
+	}
+	switch b := currentBackend(); {
+	case b >= backendAVX2:
+		// SIMD loads are unaligned, so every operand layout takes this
+		// path; only the sub-32-byte remainder is scalar.
+		rp.applySIMD(srcs, dst, off, end, overwrite, b)
+		return
+	case b == backendScalar:
+		rp.tail(srcs, dst, off, end, overwrite)
 		return
 	}
 	// Word path: all operands must be 8-byte aligned. Shard buffers come

@@ -14,25 +14,42 @@ func refMulAdd(c byte, src, dst []byte) {
 	}
 }
 
+// eachBackend runs fn under every available backend (SIMD tiers included
+// when the hardware has them), so one fuzz execution cross-checks the
+// whole dispatch chain against the oracle.
+func eachBackend(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	for _, backend := range Backends() {
+		restore, err := SetBackend(backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t)
+		restore()
+	}
+}
+
 // FuzzMulAddSliceKernel checks MulAddSlice (table loop plus the c=0/1 fast
 // paths) against the bit-by-bit oracle for arbitrary coefficients,
-// payloads, and lengths.
+// payloads, and lengths, on every backend.
 func FuzzMulAddSliceKernel(f *testing.F) {
 	f.Add(byte(2), []byte("hello, erasure coding world"))
 	f.Add(byte(0), []byte{1, 2, 3})
 	f.Add(byte(1), []byte{0xff})
 	f.Add(byte(0x8e), bytes.Repeat([]byte{0xa5, 0x3c}, 33))
 	f.Fuzz(func(t *testing.T, c byte, src []byte) {
-		dst := make([]byte, len(src))
-		for i := range dst {
-			dst[i] = byte(i*7 + 13)
-		}
-		want := append([]byte(nil), dst...)
-		refMulAdd(c, src, want)
-		MulAddSlice(c, src, dst)
-		if !bytes.Equal(dst, want) {
-			t.Fatalf("MulAddSlice(c=%#x, len=%d) diverges from reference", c, len(src))
-		}
+		eachBackend(t, func(t *testing.T) {
+			dst := make([]byte, len(src))
+			for i := range dst {
+				dst[i] = byte(i*7 + 13)
+			}
+			want := append([]byte(nil), dst...)
+			refMulAdd(c, src, want)
+			MulAddSlice(c, src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddSlice(c=%#x, len=%d, backend=%s) diverges from reference", c, len(src), Backend())
+			}
+		})
 	})
 }
 
@@ -74,18 +91,23 @@ func FuzzMulAddRow(f *testing.F) {
 			}
 			srcs[j] = s
 		}
-		dst := make([]byte, len(src))
-		for i := range dst {
-			dst[i] = byte(i * 3)
+		want := make([]byte, len(src))
+		for i := range want {
+			want[i] = byte(i * 3)
 		}
-		want := append([]byte(nil), dst...)
 		for j, c := range coeffs {
 			refMulAdd(c, srcs[j], want)
 		}
-		MulAddRow(coeffs, srcs, dst)
-		if !bytes.Equal(dst, want) {
-			t.Fatalf("MulAddRow(%d coeffs, len=%d) diverges from reference", len(coeffs), len(src))
-		}
+		eachBackend(t, func(t *testing.T) {
+			dst := make([]byte, len(src))
+			for i := range dst {
+				dst[i] = byte(i * 3)
+			}
+			MulAddRow(coeffs, srcs, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("MulAddRow(%d coeffs, len=%d, backend=%s) diverges from reference", len(coeffs), len(src), Backend())
+			}
+		})
 	})
 }
 

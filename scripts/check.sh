@@ -13,12 +13,17 @@ go build ./...
 echo "== go test (tier 1) =="
 go test ./...
 
-echo "== go test -race (concurrent packages) =="
+echo "== go test -race (concurrent packages + kernels) =="
 go test -race -count=1 \
+    ./internal/gf256 \
     ./internal/erasure/... \
     ./internal/experiments \
     ./internal/core \
     ./internal/parallel \
     ./internal/tuner
+
+echo "== go build/test (purego: portable word kernels, no asm) =="
+go build -tags purego ./...
+go test -tags purego -count=1 ./internal/gf256 ./internal/erasure/...
 
 echo "OK"
