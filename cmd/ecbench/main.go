@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/profutil"
 	"repro/internal/report"
 )
 
@@ -32,10 +33,16 @@ func main() {
 	bars := flag.Bool("bars", false, "render figures as ASCII bar charts")
 	compare := flag.Bool("compare", false, "append paper-vs-measured deltas to each figure")
 	jsonOut := flag.Bool("json", false, "emit all results as JSON instead of text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
+
+	stopProf, err := profutil.Start(*cpuProfile, *memProfile)
+	exitOn(err)
+	defer func() { exitOn(stopProf()) }()
 
 	var collected = map[string]any{}
 	emitFigure := func(fig *experiments.Figure) {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cephconf"
 	"repro/internal/core"
+	"repro/internal/profutil"
 	"repro/internal/report"
 )
 
@@ -29,7 +30,19 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the merged log timeline")
 	emitDefault := flag.Bool("default", false, "print the paper-baseline profile and exit")
 	emitClay := flag.Bool("clay", false, "print the Clay(12,9,11) profile and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *emitDefault || *emitClay {
 		p := core.DefaultProfile()

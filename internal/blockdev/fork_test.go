@@ -1,0 +1,146 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestForkRequiresFreeze(t *testing.T) {
+	d, _ := New("dev", 1<<20, 4096)
+	if _, err := d.Fork(); err == nil {
+		t.Fatal("Fork of unfrozen device should fail")
+	}
+	d.Freeze()
+	f, err := d.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fork(); err == nil {
+		t.Fatal("Fork of a fork should fail")
+	}
+}
+
+func TestFrozenDeviceRejectsWrites(t *testing.T) {
+	d, _ := New("dev", 1<<20, 4096)
+	if _, err := d.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	if _, err := d.WriteAt([]byte("x"), 0); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("WriteAt on frozen device: %v", err)
+	}
+	if err := d.Trim(0, 4096); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("Trim on frozen device: %v", err)
+	}
+	if err := d.AccountWrite(1); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("AccountWrite on frozen device: %v", err)
+	}
+	// Reads still work.
+	buf := make([]byte, 5)
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestForkCopyOnWriteIsolation(t *testing.T) {
+	d, _ := New("dev", 1<<20, 4096)
+	if _, err := d.WriteAt(bytes.Repeat([]byte{0xAA}, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	f1, err := d.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := d.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// f1 overwrites part of a shared block; f2 trims the other block.
+	if _, err := f1.WriteAt([]byte{0xBB}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Trim(4096, 4096); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(dev *Device, off int64) byte {
+		b := make([]byte, 1)
+		if _, err := dev.ReadAt(b, off); err != nil {
+			t.Fatal(err)
+		}
+		return b[0]
+	}
+	if got := read(f1, 100); got != 0xBB {
+		t.Fatalf("f1[100]=%x", got)
+	}
+	if got := read(d, 100); got != 0xAA {
+		t.Fatalf("parent[100]=%x, fork write leaked", got)
+	}
+	if got := read(f2, 100); got != 0xAA {
+		t.Fatalf("f2[100]=%x, sibling write leaked", got)
+	}
+	if got := read(f2, 5000); got != 0 {
+		t.Fatalf("f2[5000]=%x after trim", got)
+	}
+	if got := read(d, 5000); got != 0xAA {
+		t.Fatalf("parent[5000]=%x, fork trim leaked", got)
+	}
+	if got := read(f1, 101); got != 0xAA {
+		t.Fatalf("f1[101]=%x, CoW lost base bytes", got)
+	}
+}
+
+func TestForkUsedAndStats(t *testing.T) {
+	d, _ := New("dev", 1<<20, 4096)
+	if _, err := d.WriteAt(make([]byte, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	f, err := d.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Used() != d.Used() {
+		t.Fatalf("fork Used %d != parent %d", f.Used(), d.Used())
+	}
+	if f.Snapshot() != d.Snapshot() {
+		t.Fatalf("fork stats %+v != parent %+v", f.Snapshot(), d.Snapshot())
+	}
+	// Overwriting a shared block must not double-count it.
+	if _, err := f.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Used() != d.Used() {
+		t.Fatalf("fork Used %d != parent %d after CoW overwrite", f.Used(), d.Used())
+	}
+	// Trimming a shared block shrinks only the fork.
+	if err := f.Trim(4096, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if f.Used() != d.Used()-4096 {
+		t.Fatalf("fork Used %d after trim, parent %d", f.Used(), d.Used())
+	}
+}
+
+func TestForkRemoveIndependent(t *testing.T) {
+	d, _ := New("dev", 1<<20, 4096)
+	if _, err := d.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Freeze()
+	f, _ := d.Fork()
+	f.Remove()
+	if !f.Removed() {
+		t.Fatal("fork not removed")
+	}
+	buf := make([]byte, 5)
+	if _, err := d.ReadAt(buf, 0); err != nil || string(buf) != "hello" {
+		t.Fatalf("parent affected by fork removal: %q %v", buf, err)
+	}
+}

@@ -102,6 +102,14 @@ type Store struct {
 
 	chunks map[string]chunkInfo
 
+	// Copy-on-write fork state: base is the frozen parent's chunks map
+	// (shared, read-only), baseDeleted tombstones base names deleted or
+	// shadowed by this fork. Invariant: chunks ∩ base ⊆ baseDeleted.
+	// Nil base means a root store.
+	base        map[string]chunkInfo
+	baseDeleted map[string]bool
+	frozen      bool
+
 	// bulk holds accounting-mode chunks ingested through WriteChunksBulk
 	// whose byte/metadata accounting is already applied but whose map
 	// entries are deferred: synthetic bulk loads write millions of chunks
@@ -122,8 +130,8 @@ type Store struct {
 	dataWorkingSet int64 // set by the experiment runner; see SetDataWorkingSet
 }
 
-// Open creates a store over a device.
-func Open(dev *blockdev.Device, cfg Config) (*Store, error) {
+// normalizeConfig applies the zero-value defaults Open documents.
+func normalizeConfig(cfg Config) (Config, error) {
 	def := DefaultConfig()
 	if cfg.MinAllocSize <= 0 {
 		cfg.MinAllocSize = def.MinAllocSize
@@ -153,7 +161,16 @@ func Open(dev *blockdev.Device, cfg Config) (*Store, error) {
 		cfg.Cache = def.Cache
 	}
 	if cfg.ECMetaFraction < 0 {
-		return nil, fmt.Errorf("bluestore: negative ECMetaFraction")
+		return cfg, fmt.Errorf("bluestore: negative ECMetaFraction")
+	}
+	return cfg, nil
+}
+
+// Open creates a store over a device.
+func Open(dev *blockdev.Device, cfg Config) (*Store, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	return &Store{
 		cfg:    cfg,
@@ -170,6 +187,52 @@ func roundUp(v, to int64) int64 { return (v + to - 1) / to * to }
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
 
+// lookupLocked resolves a chunk through the overlay, then the
+// untombstoned base. Callers must hold s.mu and have materialized bulk
+// entries if they care about them.
+func (s *Store) lookupLocked(name string) (chunkInfo, bool) {
+	if info, ok := s.chunks[name]; ok {
+		return info, true
+	}
+	if s.base != nil && !s.baseDeleted[name] {
+		if info, ok := s.base[name]; ok {
+			return info, true
+		}
+	}
+	return chunkInfo{}, false
+}
+
+// setLocked writes a chunk record into the overlay, tombstoning any
+// base entry of the same name. Callers must hold s.mu.
+func (s *Store) setLocked(name string, info chunkInfo) {
+	s.chunks[name] = info
+	if s.base != nil {
+		if _, ok := s.base[name]; ok {
+			if s.baseDeleted == nil {
+				s.baseDeleted = map[string]bool{}
+			}
+			s.baseDeleted[name] = true
+		}
+	}
+}
+
+// chunkCountLocked is the number of visible chunks, deferred bulk
+// entries included. Callers must hold s.mu.
+func (s *Store) chunkCountLocked() int {
+	n := len(s.chunks) + len(s.bulk)
+	if s.base != nil {
+		n += len(s.base) - len(s.baseDeleted)
+	}
+	return n
+}
+
+func (s *Store) mutableLocked(op string) error {
+	if s.frozen {
+		return fmt.Errorf("bluestore: %s on frozen store (snapshot parent)", op)
+	}
+	return nil
+}
+
 // WriteChunk stores an EC chunk. size is the padded chunk size on disk;
 // objectShare is the chunk's logical share of the client object
 // (S_object / n), which drives EC metadata accounting; payload, if
@@ -184,8 +247,11 @@ func (s *Store) WriteChunk(name string, size, objectShare int64, payload []byte)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutableLocked("WriteChunk"); err != nil {
+		return err
+	}
 	s.materializeBulkLocked()
-	if old, ok := s.chunks[name]; ok {
+	if old, ok := s.lookupLocked(name); ok {
 		s.dropLocked(name, old)
 	}
 	info := chunkInfo{size: size, share: objectShare}
@@ -228,7 +294,7 @@ func (s *Store) WriteChunk(name string, size, objectShare int64, payload []byte)
 
 	s.accountedMeta += s.metaRecordBytes(size)
 	s.ecMetaBytes += int64(s.cfg.ECMetaFraction * float64(objectShare))
-	s.chunks[name] = info
+	s.setLocked(name, info)
 	return nil
 }
 
@@ -265,6 +331,9 @@ func (s *Store) WriteChunksBulk(chunks []BulkChunk) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutableLocked("WriteChunksBulk"); err != nil {
+		return err
+	}
 	if err := s.dev.AccountWrites(devBytes, int64(len(chunks))); err != nil {
 		return fmt.Errorf("bluestore: %w", err)
 	}
@@ -290,10 +359,10 @@ func (s *Store) materializeBulkLocked() {
 		return
 	}
 	for _, e := range s.bulk {
-		if old, ok := s.chunks[e.name]; ok {
+		if old, ok := s.lookupLocked(e.name); ok {
 			s.dropLocked(e.name, old)
 		}
-		s.chunks[e.name] = e.info
+		s.setLocked(e.name, e.info)
 	}
 	s.bulk = nil
 }
@@ -310,7 +379,7 @@ func (s *Store) metaRecordBytes(size int64) int64 {
 func (s *Store) ReadChunk(name string) (int64, []byte, error) {
 	s.mu.Lock()
 	s.materializeBulkLocked()
-	info, ok := s.chunks[name]
+	info, ok := s.lookupLocked(name)
 	if !ok {
 		s.mu.Unlock()
 		return 0, nil, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
@@ -345,7 +414,7 @@ func (s *Store) ReadChunk(name string) (int64, []byte, error) {
 func (s *Store) ReadSubChunks(name string, bytes int64) error {
 	s.mu.Lock()
 	s.materializeBulkLocked()
-	_, ok := s.chunks[name]
+	_, ok := s.lookupLocked(name)
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
@@ -360,13 +429,16 @@ func (s *Store) ReadSubChunks(name string, bytes int64) error {
 func (s *Store) CorruptChunk(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutableLocked("CorruptChunk"); err != nil {
+		return err
+	}
 	s.materializeBulkLocked()
-	info, ok := s.chunks[name]
+	info, ok := s.lookupLocked(name)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
 	}
 	info.corrupted = true
-	s.chunks[name] = info
+	s.setLocked(name, info)
 	if info.hasData {
 		onode, ok := s.kv.Get("o/" + name)
 		if !ok {
@@ -394,7 +466,7 @@ func (s *Store) CorruptChunk(name string) error {
 func (s *Store) ScrubChunk(name string) (bool, error) {
 	s.mu.Lock()
 	s.materializeBulkLocked()
-	info, ok := s.chunks[name]
+	info, ok := s.lookupLocked(name)
 	s.mu.Unlock()
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
@@ -414,7 +486,7 @@ func (s *Store) HasChunk(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.materializeBulkLocked()
-	_, ok := s.chunks[name]
+	_, ok := s.lookupLocked(name)
 	return ok
 }
 
@@ -423,7 +495,7 @@ func (s *Store) ChunkSize(name string) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.materializeBulkLocked()
-	info, ok := s.chunks[name]
+	info, ok := s.lookupLocked(name)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
 	}
@@ -434,8 +506,11 @@ func (s *Store) ChunkSize(name string) (int64, error) {
 func (s *Store) DeleteChunk(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.mutableLocked("DeleteChunk"); err != nil {
+		return err
+	}
 	s.materializeBulkLocked()
-	info, ok := s.chunks[name]
+	info, ok := s.lookupLocked(name)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchChunk, name)
 	}
@@ -453,13 +528,21 @@ func (s *Store) dropLocked(name string, info chunkInfo) {
 		s.kv.DeleteAccounted(len("o/")+len(name), int(s.cfg.OnodeBytes))
 	}
 	delete(s.chunks, name)
+	if s.base != nil {
+		if _, ok := s.base[name]; ok {
+			if s.baseDeleted == nil {
+				s.baseDeleted = map[string]bool{}
+			}
+			s.baseDeleted[name] = true
+		}
+	}
 }
 
 // Chunks returns the number of stored chunks.
 func (s *Store) Chunks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.chunks) + len(s.bulk)
+	return s.chunkCountLocked()
 }
 
 // DataBytes is the allocated payload space (min_alloc rounded).
@@ -492,7 +575,71 @@ func (s *Store) UsedBytes() int64 {
 func (s *Store) SetDataWorkingSet(bytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		panic("bluestore: SetDataWorkingSet on frozen store")
+	}
 	s.dataWorkingSet = bytes
+}
+
+// Freeze materializes any deferred bulk entries, then makes the store
+// and its device and KV store immutable so they can serve as shared
+// copy-on-write bases for Fork. Idempotent.
+func (s *Store) Freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.materializeBulkLocked()
+	s.frozen = true
+	s.kv.Freeze()
+	s.dev.Freeze()
+}
+
+// Fork returns a writable copy-on-write child of a frozen store. cfg may
+// change only recovery-side knobs (cache scheme and size); every field
+// that shaped the on-disk layout during populate must match the parent,
+// because the child shares the parent's chunk map, device blocks and KV
+// entries and starts from a copy of its accounting. Only single-level
+// forking is supported.
+func (s *Store) Fork(cfg Config) (*Store, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.frozen {
+		return nil, errors.New("bluestore: Fork of unfrozen store")
+	}
+	if s.base != nil {
+		return nil, errors.New("bluestore: Fork of forked store")
+	}
+	layout := func(c Config) Config {
+		c.Cache = CacheConfig{}
+		c.CacheBytes = 0
+		return c
+	}
+	if layout(cfg) != layout(s.cfg) {
+		return nil, fmt.Errorf("bluestore: Fork config changes layout-relevant fields (%+v vs %+v)", layout(cfg), layout(s.cfg))
+	}
+	dev, err := s.dev.Fork()
+	if err != nil {
+		return nil, err
+	}
+	kv, err := s.kv.Fork()
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		cfg:            cfg,
+		dev:            dev,
+		kv:             kv,
+		chunks:         map[string]chunkInfo{},
+		base:           s.chunks,
+		dataAllocated:  s.dataAllocated,
+		nextOffset:     s.nextOffset,
+		accountedMeta:  s.accountedMeta,
+		ecMetaBytes:    s.ecMetaBytes,
+		dataWorkingSet: s.dataWorkingSet,
+	}, nil
 }
 
 // AccessProfile returns the modeled cache hit fractions for onode/meta
@@ -504,7 +651,7 @@ func (s *Store) AccessProfile() (metaHit, kvHit, dataHit float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kvNeed := float64(s.kv.Footprint()) + s.cfg.KVSpaceAmp*float64(s.accountedMeta) + float64(s.ecMetaBytes)
-	metaNeed := float64(int64(len(s.chunks)+len(s.bulk)) * s.cfg.OnodeBytes)
+	metaNeed := float64(int64(s.chunkCountLocked()) * s.cfg.OnodeBytes)
 	dataNeed := float64(s.dataWorkingSet)
 	total := float64(s.cfg.CacheBytes)
 

@@ -1,0 +1,186 @@
+package bluestore
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blockdev"
+)
+
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	dev, err := blockdev.New("dev", 64<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dev, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreForkRequiresFreeze(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Fork(s.Config()); err == nil {
+		t.Fatal("Fork of unfrozen store should fail")
+	}
+	s.Freeze()
+	f, err := s.Fork(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fork(f.Config()); err == nil {
+		t.Fatal("Fork of a fork should fail")
+	}
+}
+
+func TestStoreForkRejectsLayoutChange(t *testing.T) {
+	s := newTestStore(t)
+	s.Freeze()
+	cfg := s.Config()
+	cfg.MinAllocSize = 65536
+	if _, err := s.Fork(cfg); err == nil {
+		t.Fatal("Fork changing MinAllocSize should fail")
+	}
+	// Cache knobs are recovery-side and may change.
+	cfg = s.Config()
+	cfg.Cache = CacheKVOptimized
+	cfg.CacheBytes = 1 << 30
+	f, err := s.Fork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Config().Cache != CacheKVOptimized {
+		t.Fatal("fork did not take new cache config")
+	}
+}
+
+func TestFrozenStoreRejectsWrites(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.WriteChunk("c1", 4096, 4096, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Freeze()
+	if err := s.WriteChunk("c2", 4096, 4096, nil); err == nil {
+		t.Fatal("WriteChunk on frozen store should fail")
+	}
+	if err := s.DeleteChunk("c1"); err == nil {
+		t.Fatal("DeleteChunk on frozen store should fail")
+	}
+	// Reads still work.
+	if !s.HasChunk("c1") {
+		t.Fatal("frozen store lost c1")
+	}
+	if _, _, err := s.ReadChunk("c1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreForkIsolationPayload(t *testing.T) {
+	s := newTestStore(t)
+	pay := bytes.Repeat([]byte{7}, 4096)
+	if err := s.WriteChunk("obj.a", 4096, 4096, pay); err != nil {
+		t.Fatal(err)
+	}
+	s.Freeze()
+	f1, err := s.Fork(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Fork(s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// f1 rewrites the chunk with different bytes; f2 deletes it.
+	pay2 := bytes.Repeat([]byte{9}, 4096)
+	if err := f1.WriteChunk("obj.a", 4096, 4096, pay2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.DeleteChunk("obj.a"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, got, err := s.ReadChunk("obj.a"); err != nil || !bytes.Equal(got, pay) {
+		t.Fatalf("parent payload changed: %v", err)
+	}
+	if _, got, err := f1.ReadChunk("obj.a"); err != nil || !bytes.Equal(got, pay2) {
+		t.Fatalf("f1 payload wrong: %v", err)
+	}
+	if f2.HasChunk("obj.a") {
+		t.Fatal("f2 still sees deleted chunk")
+	}
+	if !s.HasChunk("obj.a") {
+		t.Fatal("parent lost chunk after fork delete")
+	}
+}
+
+func TestStoreForkAccountingMatchesFresh(t *testing.T) {
+	// Populate two identical stores; freeze and fork one, then apply the
+	// same recovery-style mutations to the fork and to the fresh store.
+	// All externally observable accounting must stay bit-identical.
+	populate := func(s *Store) {
+		var chunks []BulkChunk
+		for i := 0; i < 100; i++ {
+			chunks = append(chunks, BulkChunk{
+				Name:  "obj" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Size:  16384,
+				Share: 18204,
+			})
+		}
+		if err := s.WriteChunksBulk(chunks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := newTestStore(t)
+	populate(fresh)
+
+	parent := newTestStore(t)
+	populate(parent)
+	parent.Freeze()
+	fork, err := parent.Fork(parent.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(s *Store) {
+		// Recovery writes a reconstructed chunk and reads helpers.
+		if err := s.WriteChunk("obja0", 16384, 18204, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadSubChunks("objb0", 2048); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.ReadChunk("objc0"); err != nil {
+			t.Fatal(err)
+		}
+		s.SetDataWorkingSet(1 << 20)
+	}
+	mutate(fresh)
+	mutate(fork)
+
+	if fresh.Chunks() != fork.Chunks() {
+		t.Fatalf("Chunks %d vs %d", fresh.Chunks(), fork.Chunks())
+	}
+	if fresh.DataBytes() != fork.DataBytes() {
+		t.Fatalf("DataBytes %d vs %d", fresh.DataBytes(), fork.DataBytes())
+	}
+	if fresh.MetaBytes() != fork.MetaBytes() {
+		t.Fatalf("MetaBytes %d vs %d", fresh.MetaBytes(), fork.MetaBytes())
+	}
+	if fresh.UsedBytes() != fork.UsedBytes() {
+		t.Fatalf("UsedBytes %d vs %d", fresh.UsedBytes(), fork.UsedBytes())
+	}
+	fm, fk, fd := fresh.AccessProfile()
+	gm, gk, gd := fork.AccessProfile()
+	if fm != gm || fk != gk || fd != gd {
+		t.Fatalf("AccessProfile (%v,%v,%v) vs (%v,%v,%v)", fm, fk, fd, gm, gk, gd)
+	}
+	if fresh.Device().Snapshot() != fork.Device().Snapshot() {
+		t.Fatalf("device stats %+v vs %+v", fresh.Device().Snapshot(), fork.Device().Snapshot())
+	}
+	if fresh.KV().WALBytes() != fork.KV().WALBytes() {
+		t.Fatalf("WAL %d vs %d", fresh.KV().WALBytes(), fork.KV().WALBytes())
+	}
+}

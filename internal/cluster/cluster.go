@@ -121,6 +121,10 @@ type Pool struct {
 	StripeUnit    int64
 	FailureDomain string
 	PGs           []*PG
+
+	// cfg is the normalized PoolConfig the pool was created with, kept so
+	// Snapshot/Fork can rebuild the pool without re-running CRUSH.
+	cfg PoolConfig
 }
 
 // PoolConfig parameterizes CreatePool.
@@ -151,10 +155,21 @@ type Cluster struct {
 	freeWrites *chunkWrite
 }
 
-// New builds the cluster topology.
+// New builds the cluster topology with fresh empty stores.
 func New(cfg Config) (*Cluster, error) {
+	return build(cfg, func(cfg Config, id, hostIdx, devIdx int) (*bluestore.Store, error) {
+		dev, err := blockdev.New(fmt.Sprintf("host%02d-nvme%dn1", hostIdx, devIdx), cfg.DeviceCapacity, 4096)
+		if err != nil {
+			return nil, err
+		}
+		return bluestore.Open(dev, cfg.Store)
+	})
+}
+
+// normalizeClusterConfig applies the zero-value defaults New documents.
+func normalizeClusterConfig(cfg Config) (Config, error) {
 	if cfg.Hosts <= 0 || cfg.OSDsPerHost <= 0 {
-		return nil, fmt.Errorf("%w: hosts=%d osdsPerHost=%d", ErrBadGeometry, cfg.Hosts, cfg.OSDsPerHost)
+		return cfg, fmt.Errorf("%w: hosts=%d osdsPerHost=%d", ErrBadGeometry, cfg.Hosts, cfg.OSDsPerHost)
 	}
 	if cfg.DeviceCapacity <= 0 {
 		cfg.DeviceCapacity = 100 << 30
@@ -164,6 +179,17 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
+	}
+	return cfg, nil
+}
+
+// build constructs the cluster skeleton — simulator, network, CRUSH map,
+// OSD queues — and asks mkStore for each OSD's object store, so New can
+// create empty stores and Snapshot.Fork can supply copy-on-write forks.
+func build(cfg Config, mkStore func(cfg Config, id, hostIdx, devIdx int) (*bluestore.Store, error)) (*Cluster, error) {
+	cfg, err := normalizeClusterConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	sim := simclock.New()
 	net := simnet.New(sim, cfg.Net)
@@ -205,11 +231,7 @@ func New(cfg Config) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			dev, err := blockdev.New(fmt.Sprintf("host%02d-nvme%dn1", h, d), cfg.DeviceCapacity, 4096)
-			if err != nil {
-				return nil, err
-			}
-			store, err := bluestore.Open(dev, cfg.Store)
+			store, err := mkStore(cfg, id, h, d)
 			if err != nil {
 				return nil, err
 			}
@@ -284,6 +306,7 @@ func (c *Cluster) CreatePool(pc PoolConfig) (*Pool, error) {
 		PGCount:       pc.PGNum,
 		StripeUnit:    pc.StripeUnit,
 		FailureDomain: pc.FailureDomain,
+		cfg:           pc,
 	}
 	poolSeed := nameHash(pc.Name)
 	for pg := 0; pg < pc.PGNum; pg++ {

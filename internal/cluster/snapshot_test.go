@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// populateSmall builds and loads the reference cluster for snapshot tests.
+func populateSmall(t *testing.T, log LogFunc) *Cluster {
+	t.Helper()
+	c := smallCluster(t, 8, 2, log)
+	rsPool(t, c, 16)
+	objs, _ := workload.Spec{Count: 128, ObjectSize: 4 << 20, NamePrefix: "o"}.Objects()
+	if err := c.BulkLoad("ecpool", objs); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// runHostFailure drives a full host-failure recovery cycle and returns
+// the measured result.
+func runHostFailure(t *testing.T, c *Cluster) *RecoveryResult {
+	t.Helper()
+	host, err := c.HostWithMostChunks("ecpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.FailHost(10*time.Second, host)
+	res, err := c.RecoverPool("ecpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestForkRecoveryMatchesFresh(t *testing.T) {
+	fresh := populateSmall(t, nil)
+	freshRes := runHostFailure(t, fresh)
+
+	parent := populateSmall(t, nil)
+	snap := parent.Snapshot()
+	fork, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkRes := runHostFailure(t, fork)
+
+	if *freshRes != *forkRes {
+		t.Fatalf("fork recovery diverged:\nfresh %+v\nfork  %+v", freshRes, forkRes)
+	}
+	if fresh.UsedBytes() != fork.UsedBytes() {
+		t.Fatalf("UsedBytes %d vs %d", fresh.UsedBytes(), fork.UsedBytes())
+	}
+}
+
+func TestForkIsolationFromParentAndSiblings(t *testing.T) {
+	parent := populateSmall(t, nil)
+	parentUsed := parent.UsedBytes()
+	snap := parent.Snapshot()
+
+	f1, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// f1 loses a whole host; f2 loses a single different OSD.
+	r1 := runHostFailure(t, f1)
+	p2, _ := f2.Pool("ecpool")
+	f2.InjectOSDFailures(time.Second, p2.PGs[0].Acting[1])
+	r2, err := f2.RecoverPool("ecpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.RepairedChunks == 0 || r2.RepairedChunks == 0 {
+		t.Fatal("both forks must repair something")
+	}
+	if r1.RepairedChunks <= r2.RepairedChunks {
+		t.Fatalf("host failure repaired %d chunks, single-OSD %d", r1.RepairedChunks, r2.RepairedChunks)
+	}
+
+	// The parent saw none of it: same usage, all OSDs up, no degraded PGs.
+	if got := parent.UsedBytes(); got != parentUsed {
+		t.Fatalf("parent UsedBytes drifted %d -> %d", parentUsed, got)
+	}
+	for _, o := range parent.OSDs() {
+		if !o.Up() {
+			t.Fatalf("parent osd.%d marked down by a fork", o.ID)
+		}
+		if o.Store.Device().Removed() {
+			t.Fatalf("parent osd.%d device removed by a fork", o.ID)
+		}
+	}
+	pgs, _ := parent.DegradedPGs("ecpool")
+	if len(pgs) != 0 {
+		t.Fatalf("parent has %d degraded PGs", len(pgs))
+	}
+	pp, _ := parent.Pool("ecpool")
+	for i, pg := range pp.PGs {
+		f1p, _ := f1.Pool("ecpool")
+		if pg.ID != f1p.PGs[i].ID {
+			t.Fatal("pg order diverged")
+		}
+	}
+}
+
+func TestForkPayloadRecoveryIsolated(t *testing.T) {
+	parent := smallCluster(t, 8, 2, nil)
+	p := rsPool(t, parent, 4)
+	contents := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("payload-%d", i)
+		data := bytes.Repeat([]byte{byte(i + 1)}, 30_000)
+		contents[name] = data
+		if err := parent.WriteObject("ecpool", name, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := parent.Snapshot()
+	fork, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := p.PGs[0].Acting[1]
+	fork.InjectOSDFailures(time.Second, victim)
+	if _, err := fork.RecoverPool("ecpool"); err != nil {
+		t.Fatal(err)
+	}
+	// Every object readable with correct bytes on the fork and the parent.
+	for name, want := range contents {
+		got, err := fork.ReadObject("ecpool", name)
+		if err != nil {
+			t.Fatalf("fork read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fork %s corrupted after recovery", name)
+		}
+		got, err = parent.ReadObject("ecpool", name)
+		if err != nil {
+			t.Fatalf("parent read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("parent %s corrupted by fork recovery", name)
+		}
+	}
+}
+
+func TestForkRejectsGeometryChange(t *testing.T) {
+	parent := smallCluster(t, 4, 2, nil)
+	snap := parent.Snapshot()
+	cfg := snap.Config()
+	cfg.Hosts = 5
+	if _, err := snap.Fork(cfg); err == nil {
+		t.Fatal("geometry change accepted")
+	}
+	cfg = snap.Config()
+	cfg.Store.MinAllocSize = 65536
+	if _, err := snap.Fork(cfg); err == nil {
+		t.Fatal("layout-relevant store change accepted")
+	}
+}
+
+func TestSnapshotFreezesParentStores(t *testing.T) {
+	parent := populateSmall(t, nil)
+	parent.Snapshot()
+	objs, _ := workload.Spec{Count: 1, ObjectSize: 1 << 20, NamePrefix: "late"}.Objects()
+	if err := parent.BulkLoad("ecpool", objs); err == nil {
+		t.Fatal("bulk load into frozen parent should fail")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -58,6 +59,12 @@ type Coordinator struct {
 	sampler *iostat.Sampler
 
 	classifier *Classifier
+
+	// lazyProvision marks environments built on a cluster snapshot fork:
+	// NVMe-oF provisioning is skipped up front and paid only for the
+	// devices a device-level fault actually targets.
+	lazyProvision bool
+	provisioned   map[int]bool
 }
 
 // Classifier aliases the log classifier type for the public API.
@@ -147,13 +154,27 @@ func (co *Coordinator) Close() {
 // Run executes the whole experiment cycle and returns its measurements.
 func (co *Coordinator) Run() (*Result, error) {
 	defer co.Close()
+	res, contents, err := co.populate()
+	if err != nil {
+		return nil, err
+	}
+	return co.finish(res, contents)
+}
+
+// populate runs the setup half of an experiment — pool creation, the
+// write workload, and the storage-overhead measurement — and returns the
+// partially filled result plus the payload contents (for post-recovery
+// verification). Everything it does depends only on the profile's
+// layout-relevant fields, which is what makes populated clusters
+// snapshotable and shareable across cells (see Populate).
+func (co *Coordinator) populate() (*Result, map[string][]byte, error) {
 	p := co.mgr.Profile()
 	res := &Result{Profile: p}
 	cl := co.cluster
 
 	// 1. Configure the pool.
 	if _, err := cl.CreatePool(co.mgr.PoolConfig()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// 2. Execute the workload.
@@ -166,7 +187,7 @@ func (co *Coordinator) Run() (*Result, error) {
 	}
 	objs, err := spec.Objects()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	contents := map[string][]byte{}
 	if p.Workload.Payload {
@@ -175,12 +196,12 @@ func (co *Coordinator) Run() (*Result, error) {
 			data := rng.bytes(int(o.Size))
 			contents[o.Name] = data
 			if err := cl.WriteObject(p.Pool.Name, o.Name, data); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	} else {
 		if err := cl.BulkLoad(p.Pool.Name, objs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	res.WrittenBytes = 0
@@ -193,8 +214,17 @@ func (co *Coordinator) Run() (*Result, error) {
 	measured := float64(res.UsedBytes) / float64(res.WrittenBytes)
 	res.WA, err = wamodel.NewReport(p.Workload.ObjectSize, p.Pool.K+p.Pool.M, p.Pool.K, p.Pool.StripeUnit, measured)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	return res, contents, nil
+}
+
+// finish runs the recovery-side half of an experiment — fault injection,
+// recovery, scrubbing, log collection — on top of a populated cluster,
+// whether freshly built or forked from a snapshot.
+func (co *Coordinator) finish(res *Result, contents map[string][]byte) (*Result, error) {
+	p := co.mgr.Profile()
+	cl := co.cluster
 
 	// 4. Inject faults and run recovery, if profiled. Corruption faults
 	// are latent: they are applied, then detected by a deep scrub and
@@ -212,8 +242,11 @@ func (co *Coordinator) Run() (*Result, error) {
 				// Device faults go through the worker's NVMe-oF control
 				// path, exactly like nvmetcli removing a subsystem.
 				for _, id := range pf.OSDs {
-					host := cl.Crush().HostOf(id)
-					if w := co.workers[host]; w != nil {
+					w, err := co.deviceWorker(id)
+					if err != nil {
+						return nil, fmt.Errorf("core: provisioning fault target osd.%d: %w", id, err)
+					}
+					if w != nil {
 						if err := w.FailDevice(id); err != nil {
 							return nil, fmt.Errorf("core: failing device osd.%d: %w", id, err)
 						}
@@ -273,8 +306,16 @@ func (co *Coordinator) Run() (*Result, error) {
 		}
 	}
 
-	// 5. Collect and merge logs.
-	for _, l := range co.loggers {
+	// 5. Collect and merge logs. Loggers flush in node-name order so the
+	// collector's stable time-sort breaks same-timestamp ties the same way
+	// on every run (and identically for fresh and forked clusters).
+	nodes := make([]string, 0, len(co.loggers))
+	for n := range co.loggers {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		l := co.loggers[n]
 		if err := l.Flush(); err != nil {
 			return nil, err
 		}
@@ -288,6 +329,34 @@ func (co *Coordinator) Run() (*Result, error) {
 	res.Timeline = collector.Entries()
 	res.IOSamples = co.sampler.Samples()
 	return res, nil
+}
+
+// deviceWorker returns the worker that owns an OSD's device. In a fresh
+// environment every device was provisioned eagerly in NewCoordinator; in
+// a forked environment the worker is created and the device provisioned
+// on demand, so only the handful of fault-target devices pay the NVMe-oF
+// round trips.
+func (co *Coordinator) deviceWorker(id int) (*Worker, error) {
+	host := co.cluster.Crush().HostOf(id)
+	w := co.workers[host]
+	if w == nil {
+		if !co.lazyProvision {
+			return nil, nil
+		}
+		var err error
+		w, err = NewWorker(host)
+		if err != nil {
+			return nil, err
+		}
+		co.workers[host] = w
+	}
+	if co.lazyProvision && !co.provisioned[id] {
+		if err := w.Provision(id, co.cluster.OSD(id).Store.Device()); err != nil {
+			return nil, err
+		}
+		co.provisioned[id] = true
+	}
+	return w, nil
 }
 
 // hasCorruption reports whether any fault spec is corruption-level.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -153,6 +155,42 @@ func ClayProfile() Profile {
 	p.Pool.Plugin = "clay"
 	p.Pool.D = 11
 	return p
+}
+
+// LayoutKey hashes exactly the profile fields that shape a populated
+// cluster's on-disk state: topology, pool/EC geometry, the backend's
+// allocation granularity, and the workload. Two profiles with equal keys
+// produce byte-identical clusters after the populate phase, so one can
+// run on a copy-on-write fork of the other's snapshot. Recovery-side
+// knobs — cache scheme and size, network bandwidth, faults, tuning — are
+// deliberately excluded. Fields are normalized the same way the EC
+// manager and cluster resolve them, so e.g. Clay with D=0 and D=k+m-1
+// share a key.
+func (p Profile) LayoutKey() string {
+	capGB := p.Cluster.DeviceCapacityGB
+	if capGB <= 0 {
+		capGB = 100
+	}
+	d := p.Pool.D
+	if p.Pool.Plugin == "clay" && d == 0 {
+		d = p.Pool.K + p.Pool.M - 1
+	}
+	fd := p.Pool.FailureDomain
+	if fd == "" {
+		fd = "host"
+	}
+	minAlloc := p.Backend.MinAllocSize
+	if minAlloc <= 0 {
+		minAlloc = 4096
+	}
+	sum := sha256.Sum256([]byte(fmt.Sprintf(
+		"layout/v1|%d|%d|%d|%d|%s|%s|%d|%d|%d|%d|%d|%s|%d|%d|%d|%g|%d|%t",
+		p.Cluster.Hosts, p.Cluster.OSDsPerHost, capGB, p.Cluster.Racks,
+		p.Pool.Name, p.Pool.Plugin, p.Pool.K, p.Pool.M, d, p.Pool.PGNum, p.Pool.StripeUnit, fd,
+		minAlloc,
+		p.Workload.Objects, p.Workload.ObjectSize, p.Workload.SizeJitter, p.Workload.Seed, p.Workload.Payload,
+	)))
+	return hex.EncodeToString(sum[:])
 }
 
 // ScaleWorkload divides the object count by factor (>= 1), preserving

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLayoutKeyGroupsCells(t *testing.T) {
+	base := fastProfile()
+	key := base.LayoutKey()
+
+	// Recovery-side changes keep the key.
+	same := []func(*Profile){
+		func(p *Profile) { p.Name = "renamed" },
+		func(p *Profile) { p.Backend.CacheScheme = SchemeKVOptimized },
+		func(p *Profile) { p.Backend.CacheGB = 1 },
+		func(p *Profile) { p.Cluster.NetworkGbps = 10 },
+		func(p *Profile) { p.Faults = nil },
+		func(p *Profile) { p.Faults[0].Level = FaultLevelDevice },
+		func(p *Profile) { p.Tuning.MarkOutIntervalSeconds = 60 },
+		func(p *Profile) { p.Tuning.MaxBackfills = 4 },
+	}
+	for i, mutate := range same {
+		p := fastProfile()
+		mutate(&p)
+		if p.LayoutKey() != key {
+			t.Errorf("recovery-side mutation %d changed the layout key", i)
+		}
+	}
+
+	// Layout-relevant changes must change the key.
+	diff := []func(*Profile){
+		func(p *Profile) { p.Cluster.Hosts = 16 },
+		func(p *Profile) { p.Cluster.OSDsPerHost = 3 },
+		func(p *Profile) { p.Cluster.DeviceCapacityGB = 16 },
+		func(p *Profile) { p.Cluster.Racks = 3 },
+		func(p *Profile) { p.Pool.Plugin = "clay" },
+		func(p *Profile) { p.Pool.K = 8 },
+		func(p *Profile) { p.Pool.M = 4 },
+		func(p *Profile) { p.Pool.PGNum = 64 },
+		func(p *Profile) { p.Pool.StripeUnit = 4096 },
+		func(p *Profile) { p.Pool.FailureDomain = "osd" },
+		func(p *Profile) { p.Backend.MinAllocSize = 65536 },
+		func(p *Profile) { p.Workload.Objects = 61 },
+		func(p *Profile) { p.Workload.ObjectSize = 4 << 20 },
+		func(p *Profile) { p.Workload.SizeJitter = 0.1 },
+		func(p *Profile) { p.Workload.Seed = 99 },
+		func(p *Profile) { p.Workload.Payload = true },
+	}
+	for i, mutate := range diff {
+		p := fastProfile()
+		mutate(&p)
+		if p.LayoutKey() == key {
+			t.Errorf("layout mutation %d did not change the layout key", i)
+		}
+	}
+
+	// Normalization: Clay D=0 and D=k+m-1 share a key.
+	c1 := fastProfile()
+	c1.Pool.Plugin = "clay"
+	c2 := c1
+	c2.Pool.D = c2.Pool.K + c2.Pool.M - 1
+	if c1.LayoutKey() != c2.LayoutKey() {
+		t.Error("clay D normalization broken")
+	}
+	// Failure domain "" and "host" share a key.
+	f1 := fastProfile()
+	f1.Pool.FailureDomain = ""
+	f2 := fastProfile()
+	f2.Pool.FailureDomain = "host"
+	if f1.LayoutKey() != f2.LayoutKey() {
+		t.Error("failure-domain normalization broken")
+	}
+}
+
+// TestSnapshotRunMatchesFreshRun is the core bit-identity check: running
+// a cell on a snapshot fork must produce exactly the measurements a
+// fresh build produces, including recovery timeline, WA, logs, iostat
+// samples and timeline entries.
+func TestSnapshotRunMatchesFreshRun(t *testing.T) {
+	p := fastProfile()
+
+	fresh, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Populate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := snap.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if *fresh.Recovery != *forked.Recovery {
+		t.Fatalf("recovery diverged:\nfresh %+v\nfork  %+v", fresh.Recovery, forked.Recovery)
+	}
+	if fresh.WA != forked.WA {
+		t.Fatalf("WA diverged: %+v vs %+v", fresh.WA, forked.WA)
+	}
+	if fresh.UsedBytes != forked.UsedBytes || fresh.WrittenBytes != forked.WrittenBytes {
+		t.Fatalf("bytes diverged: used %d/%d written %d/%d",
+			fresh.UsedBytes, forked.UsedBytes, fresh.WrittenBytes, forked.WrittenBytes)
+	}
+	if fresh.LogLinesShipped != forked.LogLinesShipped || fresh.LogLinesDropped != forked.LogLinesDropped {
+		t.Fatalf("log counts diverged: shipped %d/%d dropped %d/%d",
+			fresh.LogLinesShipped, forked.LogLinesShipped, fresh.LogLinesDropped, forked.LogLinesDropped)
+	}
+	if !reflect.DeepEqual(fresh.IOSamples, forked.IOSamples) {
+		t.Fatalf("iostat samples diverged (%d vs %d)", len(fresh.IOSamples), len(forked.IOSamples))
+	}
+	if len(fresh.Timeline) != len(forked.Timeline) {
+		t.Fatalf("timeline length %d vs %d", len(fresh.Timeline), len(forked.Timeline))
+	}
+	for i := range fresh.Timeline {
+		if fresh.Timeline[i] != forked.Timeline[i] {
+			t.Fatalf("timeline[%d] %+v vs %+v", i, fresh.Timeline[i], forked.Timeline[i])
+		}
+	}
+}
+
+// TestSnapshotSharedAcrossCacheSchemes exercises the fig2a pattern: one
+// populate serving cells that differ only in the cache scheme, each
+// matching its fresh-built twin.
+func TestSnapshotSharedAcrossCacheSchemes(t *testing.T) {
+	base := fastProfile()
+	snap, err := Populate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{SchemeKVOptimized, SchemeDataOptimized, SchemeAutotune} {
+		p := fastProfile()
+		p.Name = "cell-" + scheme
+		p.Backend.CacheScheme = scheme
+		if p.LayoutKey() != snap.LayoutKey() {
+			t.Fatalf("scheme %s changed the layout key", scheme)
+		}
+		forked, err := snap.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *fresh.Recovery != *forked.Recovery {
+			t.Fatalf("scheme %s diverged:\nfresh %+v\nfork  %+v", scheme, fresh.Recovery, forked.Recovery)
+		}
+	}
+}
+
+func TestSnapshotRunPayloadVerification(t *testing.T) {
+	p := fastProfile()
+	p.Workload.Objects = 6
+	p.Workload.ObjectSize = 64 << 10
+	p.Workload.Payload = true
+	snap, err := Populate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snap.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PayloadVerified || res.PayloadErrors != 0 {
+		t.Fatalf("payload verification failed on fork: %+v", res)
+	}
+	// A second fork must verify too (shared contents, isolated stores).
+	res2, err := snap.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.PayloadVerified {
+		t.Fatal("second fork failed payload verification")
+	}
+}
+
+func TestSnapshotRunRejectsLayoutMismatch(t *testing.T) {
+	snap, err := Populate(fastProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastProfile()
+	p.Workload.Objects = 61
+	if _, err := snap.Run(p); err == nil {
+		t.Fatal("layout mismatch accepted")
+	}
+}
+
+func TestSnapshotRunDeviceFaultProvisionsLazily(t *testing.T) {
+	p := fastProfile()
+	p.Faults = []FaultSpec{{Level: FaultLevelDevice, Count: 2, Locality: LocalityDiffHosts, AtSeconds: 10}}
+	snap, err := Populate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := snap.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *fresh.Recovery != *forked.Recovery {
+		t.Fatalf("device-fault cell diverged:\nfresh %+v\nfork  %+v", fresh.Recovery, forked.Recovery)
+	}
+}

@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+func TestTimelineTieOrderDeterministic(t *testing.T) {
+	p := fastProfile()
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Timeline) != len(b.Timeline) {
+		t.Fatalf("len %d vs %d", len(a.Timeline), len(b.Timeline))
+	}
+	for i := range a.Timeline {
+		if a.Timeline[i] != b.Timeline[i] {
+			t.Fatalf("timeline[%d] %+v vs %+v", i, a.Timeline[i], b.Timeline[i])
+		}
+	}
+}

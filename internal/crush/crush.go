@@ -197,9 +197,16 @@ func strawDraw(seed uint64, itemKey uint64, r int, weight float64) float64 {
 	if weight <= 0 {
 		return math.Inf(-1)
 	}
+	return math.Log(strawU(seed, itemKey, r)) / weight
+}
+
+// strawU is the uniform variate behind strawDraw. ln is strictly
+// monotonic, so when every candidate has the same weight,
+// argmax ln(u)/w == argmax u and Select can skip the (expensive) log —
+// the chosen item is bit-identical either way.
+func strawU(seed uint64, itemKey uint64, r int) float64 {
 	h := hash3(seed, itemKey, uint64(r))
-	u := (float64(h>>11) + 1) / float64(1<<53) // (0, 1]
-	return math.Log(u) / weight
+	return (float64(h>>11) + 1) / float64(1<<53) // (0, 1]
 }
 
 func nameKey(s string) uint64 {
@@ -223,9 +230,13 @@ func (m *Map) Select(seed uint64, n int, failureDomain string) ([]int, error) {
 	type candidate struct {
 		domainKey string
 		osd       int
+		itemKey   uint64
+		weight    float64
 	}
-	// Enumerate live OSDs with their domain keys.
+	// Enumerate live OSDs with their domain keys. Item keys and weights
+	// are hoisted here so the draw loop below touches no maps.
 	var cands []candidate
+	uniform := true
 	for id, node := range m.osds {
 		if node == nil || node.out || node.Weight <= 0 {
 			continue
@@ -242,43 +253,44 @@ func (m *Map) Select(seed uint64, n int, failureDomain string) ([]int, error) {
 				key = m.hostOf[id] // flat maps: host acts as rack
 			}
 		}
-		cands = append(cands, candidate{domainKey: key, osd: id})
+		if len(cands) > 0 && node.Weight != cands[0].weight {
+			uniform = false
+		}
+		cands = append(cands, candidate{domainKey: key, osd: id, itemKey: nameKey(node.Name), weight: node.Weight})
 	}
 	chosen := make([]int, 0, n)
-	usedDomains := map[string]bool{}
 	for r := 0; len(chosen) < n; r++ {
 		if r > 16*n+64 {
 			return nil, fmt.Errorf("%w: placed %d of %d", ErrNotEnoughDomains, len(chosen), n)
 		}
 		best := -1
 		bestDraw := math.Inf(-1)
-		for _, c := range cands {
-			if usedDomains[c.domainKey] {
-				continue
+		for i, c := range cands {
+			var d float64
+			if uniform {
+				d = strawU(seed, c.itemKey, r)
+			} else {
+				d = strawDraw(seed, c.itemKey, r, c.weight)
 			}
-			d := strawDraw(seed, nameKey(m.osds[c.osd].Name), r, m.osds[c.osd].Weight)
 			if d > bestDraw {
 				bestDraw = d
-				best = c.osd
+				best = i
 			}
 		}
 		if best == -1 {
 			return nil, fmt.Errorf("%w: placed %d of %d", ErrNotEnoughDomains, len(chosen), n)
 		}
-		var domainKey string
-		switch failureDomain {
-		case TypeOSD:
-			domainKey = m.osds[best].Name
-		case TypeHost:
-			domainKey = m.hostOf[best]
-		case TypeRack:
-			domainKey = m.rackOf[best]
-			if domainKey == "" {
-				domainKey = m.hostOf[best]
+		chosen = append(chosen, cands[best].osd)
+		// Drop the winning domain's candidates in place: later rounds
+		// could never pick them, exactly as the old used-domain skip.
+		usedKey := cands[best].domainKey
+		kept := cands[:0]
+		for _, c := range cands {
+			if c.domainKey != usedKey {
+				kept = append(kept, c)
 			}
 		}
-		usedDomains[domainKey] = true
-		chosen = append(chosen, best)
+		cands = kept
 	}
 	return chosen, nil
 }

@@ -22,6 +22,10 @@ func BenchmarkSimEngine(b *testing.B) {
 			prev := parallel.SetWorkers(1)
 			defer parallel.SetWorkers(prev)
 			for i := 0; i < b.N; i++ {
+				// Each iteration is one cold campaign: cells share
+				// populated-cluster snapshots within it, never across
+				// iterations.
+				ResetSnapshotCache()
 				if _, err := Fig2Suite(scale); err != nil {
 					b.Fatal(err)
 				}

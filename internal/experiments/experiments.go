@@ -47,9 +47,18 @@ type Figure struct {
 	Raw      map[string]time.Duration // "<config>/<code>" -> absolute time
 }
 
+// runCell executes one experiment cell, through the snapshot cache unless
+// ECFAULT_NOSNAPSHOT disables it.
+func runCell(p core.Profile) (*core.Result, error) {
+	if snapshotsDisabled() {
+		return core.Run(p)
+	}
+	return engineCache.Run(p)
+}
+
 // runRecovery executes a profile and returns the system recovery time.
 func runRecovery(p core.Profile) (time.Duration, *core.Result, error) {
-	res, err := core.Run(p)
+	res, err := runCell(p)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -65,11 +74,17 @@ func runRecovery(p core.Profile) (time.Duration, *core.Result, error) {
 // message bus, so cells share no mutable state; results come back in input
 // order and the first failing cell (by input order) decides the error, the
 // same error the old serial loops would have hit first.
+//
+// Cells sharing a layout (same Profile.LayoutKey) populate one cluster
+// between them through the snapshot cache and each run on a
+// copy-on-write fork, which amortizes the dominant setup cost of a
+// campaign. ECFAULT_NOSNAPSHOT reverts to building every cell from
+// scratch.
 func runProfiles(ps []core.Profile) ([]*core.Result, error) {
 	results := make([]*core.Result, len(ps))
 	errs := make([]error, len(ps))
 	parallel.ForEach(len(ps), parallel.Workers(), func(i int) {
-		results[i], errs[i] = core.Run(ps[i])
+		results[i], errs[i] = runCell(ps[i])
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// defaultSnapshotBound caps how many populated-cluster snapshots are kept
+// alive at once. Each snapshot pins the frozen stores of one cluster
+// image (tens of MB at bench scales), and campaign sweeps rarely use more
+// than a handful of distinct layouts, so a small bound loses nothing.
+const defaultSnapshotBound = 16
+
+// snapshotEntry is one cached populate, guarded by a sync.Once so that
+// concurrent cells sharing a layout populate exactly one cluster between
+// them (singleflight) while the cache lock stays uncontended.
+type snapshotEntry struct {
+	once sync.Once
+	snap *core.Snapshot
+	err  error
+}
+
+// snapshotCache is a bounded LRU of populated-cluster snapshots keyed by
+// core.Profile.LayoutKey. It is shared across the parallel cell fan-out
+// of every experiment in the process.
+type snapshotCache struct {
+	mu      sync.Mutex
+	bound   int
+	entries map[string]*snapshotEntry
+	order   []string // LRU order: least recently used first
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newSnapshotCache() *snapshotCache {
+	return &snapshotCache{bound: snapshotBound(), entries: map[string]*snapshotEntry{}}
+}
+
+// snapshotBound resolves the cache bound: ECFAULT_SNAPSHOTS overrides the
+// default (values < 1 are clamped to 1 — disabling is ECFAULT_NOSNAPSHOT's
+// job).
+func snapshotBound() int {
+	if v := os.Getenv("ECFAULT_SNAPSHOTS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+	}
+	return defaultSnapshotBound
+}
+
+// snapshotsDisabled reports whether the snapshot layer is switched off
+// (ECFAULT_NOSNAPSHOT set): every cell then builds its cluster from
+// scratch, the pre-snapshot behavior.
+func snapshotsDisabled() bool {
+	return os.Getenv("ECFAULT_NOSNAPSHOT") != ""
+}
+
+// entry returns the cache slot for a layout key, creating and LRU-bumping
+// it under the lock. Population happens outside the lock via the entry's
+// once.
+func (c *snapshotCache) entry(key string) *snapshotEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.bump(key)
+		return e
+	}
+	c.misses++
+	e = &snapshotEntry{}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for len(c.entries) > c.bound {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+		c.evictions++
+	}
+	return e
+}
+
+// bump moves a key to the most-recently-used end.
+func (c *snapshotCache) bump(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// Run executes one cell: fetch (or populate exactly once) the snapshot
+// for the profile's layout, then run the recovery side on a copy-on-write
+// fork. Results are bit-identical to core.Run on a fresh cluster.
+func (c *snapshotCache) Run(p core.Profile) (*core.Result, error) {
+	e := c.entry(p.LayoutKey())
+	e.once.Do(func() {
+		e.snap, e.err = core.Populate(p)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.snap.Run(p)
+}
+
+// Reset drops every cached snapshot and re-reads the bound from the
+// environment. Benchmarks use it to measure cold-cache behavior and to
+// flip ECFAULT_SNAPSHOTS/ECFAULT_NOSNAPSHOT between runs.
+func (c *snapshotCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bound = snapshotBound()
+	c.entries = map[string]*snapshotEntry{}
+	c.order = nil
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// Stats returns (hits, misses, evictions) since the last Reset.
+func (c *snapshotCache) Stats() (int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// engineCache is the process-wide snapshot cache behind runProfiles.
+var engineCache = newSnapshotCache()
+
+// ResetSnapshotCache clears the process-wide snapshot cache and re-reads
+// the ECFAULT_SNAPSHOTS bound. Exposed for benchmarks and tests.
+func ResetSnapshotCache() { engineCache.Reset() }
+
+// SnapshotCacheStats returns (hits, misses, evictions) of the process-wide
+// snapshot cache since the last reset.
+func SnapshotCacheStats() (int64, int64, int64) { return engineCache.Stats() }

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// recoveryGolden extracts the golden-comparable fields from a result.
+func recoveryGolden(res *core.Result) timelineGolden {
+	r := res.Recovery
+	return timelineGolden{
+		DetectedNS:  int64(r.DetectedAt),
+		StartNS:     int64(r.RecoveryStartAt),
+		FinishedNS:  int64(r.FinishedAt),
+		HelperDisk:  r.HelperDiskBytes,
+		Network:     r.NetworkBytes,
+		Written:     r.WrittenBytes,
+		ObjRepairs:  r.ObjectRepairs,
+		RepChunks:   r.RepairedChunks,
+		DegradedPGs: r.DegradedPGs,
+	}
+}
+
+// TestEngineDeterminismForked replays the engine goldens on forked
+// clusters: populate once per profile, run the recovery side on a
+// copy-on-write fork, and demand the exact numbers the pre-rewrite
+// engine produced on fresh-built clusters.
+func TestEngineDeterminismForked(t *testing.T) {
+	for _, cfg := range goldenProfiles() {
+		snap, err := core.Populate(cfg.P)
+		if err != nil {
+			t.Fatalf("%s: populate: %v", cfg.Name, err)
+		}
+		res, err := snap.Run(cfg.P)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if res.Recovery == nil {
+			t.Fatalf("%s: no recovery result", cfg.Name)
+		}
+		want := engineGoldens[cfg.Name]
+		if got := recoveryGolden(res); got != want {
+			t.Errorf("%s: forked run diverged from golden\n got %+v\nwant %+v", cfg.Name, got, want)
+		}
+	}
+}
+
+// TestEngineDeterminismNoSnapshot drives the goldens through runProfiles
+// with the snapshot layer disabled, covering the ECFAULT_NOSNAPSHOT
+// escape hatch end to end.
+func TestEngineDeterminismNoSnapshot(t *testing.T) {
+	t.Setenv("ECFAULT_NOSNAPSHOT", "1")
+	cfgs := goldenProfiles()
+	ps := make([]core.Profile, len(cfgs))
+	for i, cfg := range cfgs {
+		ps[i] = cfg.P
+	}
+	results, err := runProfiles(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		want := engineGoldens[cfgs[i].Name]
+		if got := recoveryGolden(res); got != want {
+			t.Errorf("%s: no-snapshot run diverged from golden\n got %+v\nwant %+v", cfgs[i].Name, got, want)
+		}
+	}
+}
+
+// TestForkMutationsDoNotLeakAcrossParallelCells runs many cells off one
+// snapshot concurrently (run under -race): several recovery-side variants,
+// each replicated, all forking the same frozen image at once. Every
+// replica must match its serially computed fresh twin bit-identically —
+// any cross-fork leak (shared chunk map, shared acting set, shared
+// decode state) shows up as a divergent replica or a race report.
+func TestForkMutationsDoNotLeakAcrossParallelCells(t *testing.T) {
+	base := goldenProfiles()[0].P
+	schemes := []string{core.SchemeKVOptimized, core.SchemeDataOptimized, core.SchemeAutotune}
+
+	fresh := make([]*core.Result, len(schemes))
+	for i, s := range schemes {
+		p := base
+		p.Backend.CacheScheme = s
+		var err error
+		fresh[i], err = core.Run(p)
+		if err != nil {
+			t.Fatalf("fresh %s: %v", s, err)
+		}
+	}
+
+	cache := newSnapshotCache()
+	const replicas = 4
+	n := len(schemes) * replicas
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	parallel.ForEach(n, n, func(i int) {
+		p := base
+		p.Name = fmt.Sprintf("%s-fork-%d", base.Name, i)
+		p.Backend.CacheScheme = schemes[i%len(schemes)]
+		results[i], errs[i] = cache.Run(p)
+	})
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("cell %d: %v", i, errs[i])
+		}
+		twin := fresh[i%len(schemes)]
+		res := results[i]
+		if *res.Recovery != *twin.Recovery {
+			t.Errorf("cell %d (%s): recovery diverged\nfork  %+v\nfresh %+v",
+				i, schemes[i%len(schemes)], res.Recovery, twin.Recovery)
+		}
+		if res.WA != twin.WA || res.UsedBytes != twin.UsedBytes || res.WrittenBytes != twin.WrittenBytes {
+			t.Errorf("cell %d: accounting diverged", i)
+		}
+		if res.LogLinesShipped != twin.LogLinesShipped || res.LogLinesDropped != twin.LogLinesDropped {
+			t.Errorf("cell %d: log counts diverged", i)
+		}
+	}
+	hits, misses, _ := cache.Stats()
+	if misses != 1 || hits != int64(n-1) {
+		t.Errorf("cache stats: %d hits %d misses, want %d hits 1 miss", hits, misses, n-1)
+	}
+}
+
+// TestSnapshotCacheBoundAndReset pins the LRU bound behavior and the
+// ECFAULT_SNAPSHOTS override.
+func TestSnapshotCacheBoundAndReset(t *testing.T) {
+	t.Setenv("ECFAULT_SNAPSHOTS", "1")
+	c := newSnapshotCache()
+	if c.bound != 1 {
+		t.Fatalf("bound = %d, want 1", c.bound)
+	}
+
+	a := goldenProfiles()[0].P // rs layout
+	b := a
+	b.Workload.Seed++ // layout-relevant: different snapshot
+
+	if _, err := c.Run(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(a); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := c.Run(b); err != nil { // miss, evicts a
+		t.Fatal(err)
+	}
+	if _, err := c.Run(a); err != nil { // miss again: a was evicted
+		t.Fatal(err)
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 3 || evictions != 2 {
+		t.Errorf("stats = %d/%d/%d hits/misses/evictions, want 1/3/2", hits, misses, evictions)
+	}
+
+	c.Reset()
+	hits, misses, evictions = c.Stats()
+	if hits != 0 || misses != 0 || evictions != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if len(c.entries) != 0 || len(c.order) != 0 {
+		t.Error("reset did not clear entries")
+	}
+}

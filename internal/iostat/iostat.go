@@ -36,15 +36,24 @@ func NewSampler() *Sampler {
 	return &Sampler{devices: map[string]*blockdev.Device{}, last: map[string]blockdev.Stats{}}
 }
 
-// Track registers a device under a unique name.
+// Track registers a device under a unique name. The first sample deltas
+// against the device's counters at track time.
 func (s *Sampler) Track(name string, dev *blockdev.Device) error {
+	return s.TrackFrom(name, dev, dev.Snapshot())
+}
+
+// TrackFrom registers a device with an explicit baseline for the first
+// delta. Forked clusters inherit their parent's populate-phase counters,
+// so tracking them from a zero baseline reports the same first-sample
+// deltas a fresh cluster tracked from birth would.
+func (s *Sampler) TrackFrom(name string, dev *blockdev.Device, baseline blockdev.Stats) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.devices[name]; dup {
 		return fmt.Errorf("iostat: device %q already tracked", name)
 	}
 	s.devices[name] = dev
-	s.last[name] = dev.Snapshot()
+	s.last[name] = baseline
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package kvstore
+
+import "testing"
+
+func TestForkRequiresFreeze(t *testing.T) {
+	db := Open(1.3)
+	if _, err := db.Fork(); err == nil {
+		t.Fatal("Fork of unfrozen store should fail")
+	}
+	db.Freeze()
+	f, err := db.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fork(); err == nil {
+		t.Fatal("Fork of a fork should fail")
+	}
+}
+
+func TestFrozenStorePanicsOnMutation(t *testing.T) {
+	db := Open(1)
+	db.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put on frozen store should panic")
+		}
+	}()
+	db.Put("k", []byte("v"))
+}
+
+func TestForkIsolationAndAccounting(t *testing.T) {
+	db := Open(1.5)
+	db.Put("a", []byte("alpha"))
+	db.Put("b", []byte("beta"))
+	db.PutAccounted(3, 100)
+	db.Freeze()
+
+	f1, err := db.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := db.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Len() != db.Len() || f1.LogicalBytes() != db.LogicalBytes() ||
+		f1.WALBytes() != db.WALBytes() || f1.Footprint() != db.Footprint() {
+		t.Fatalf("fork accounting differs from parent")
+	}
+
+	// f1 overwrites a shared key, f2 deletes one.
+	f1.Put("a", []byte("ALPHA-2"))
+	f2.Delete("b")
+
+	if v, _ := db.Get("a"); string(v) != "alpha" {
+		t.Fatalf("parent a=%q, fork overwrite leaked", v)
+	}
+	if v, _ := f2.Get("a"); string(v) != "alpha" {
+		t.Fatalf("sibling a=%q", v)
+	}
+	if v, _ := f1.Get("a"); string(v) != "ALPHA-2" {
+		t.Fatalf("f1 a=%q", v)
+	}
+	if _, ok := f2.Get("b"); ok {
+		t.Fatal("f2 still sees deleted b")
+	}
+	if v, ok := db.Get("b"); !ok || string(v) != "beta" {
+		t.Fatal("parent lost b after fork delete")
+	}
+	if f1.Len() != db.Len() {
+		t.Fatalf("f1 Len %d != parent %d after overwrite", f1.Len(), db.Len())
+	}
+	if f2.Len() != db.Len()-1 {
+		t.Fatalf("f2 Len %d, parent %d", f2.Len(), db.Len())
+	}
+}
+
+func TestForkScanMergesBase(t *testing.T) {
+	db := Open(1)
+	db.Put("p/1", []byte("one"))
+	db.Put("p/2", []byte("two"))
+	db.Put("q/1", []byte("other"))
+	db.Freeze()
+	f, _ := db.Fork()
+	f.Put("p/3", []byte("three"))
+	f.Put("p/1", []byte("ONE"))
+	f.Delete("p/2")
+
+	got := map[string]string{}
+	f.Scan("p/", func(k string, v []byte) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("duplicate key %s in scan", k)
+		}
+		got[k] = string(v)
+		return true
+	})
+	want := map[string]string{"p/1": "ONE", "p/3": "three"}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("scan[%s]=%q want %q", k, got[k], v)
+		}
+	}
+	// Parent scan unchanged.
+	n := 0
+	db.Scan("p/", func(k string, v []byte) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("parent scan saw %d keys", n)
+	}
+}
+
+func TestForkReplayMatchesFresh(t *testing.T) {
+	// The same mutation history applied to a fork and to a fresh store
+	// that already contains the base entries must produce identical
+	// accounting — this is what keeps WA results bit-identical.
+	build := func() *DB {
+		db := Open(1.35)
+		db.Put("o/x", make([]byte, 512))
+		db.Put("o/y", make([]byte, 512))
+		return db
+	}
+	fresh := build()
+
+	parent := build()
+	parent.Freeze()
+	fork, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(db *DB) {
+		db.Put("o/x", make([]byte, 600)) // overwrite
+		db.Delete("o/y")
+		db.Put("o/z", make([]byte, 100))
+	}
+	mutate(fresh)
+	mutate(fork)
+
+	if fresh.Len() != fork.Len() {
+		t.Fatalf("Len %d vs %d", fresh.Len(), fork.Len())
+	}
+	if fresh.LogicalBytes() != fork.LogicalBytes() {
+		t.Fatalf("LogicalBytes %d vs %d", fresh.LogicalBytes(), fork.LogicalBytes())
+	}
+	if fresh.WALBytes() != fork.WALBytes() {
+		t.Fatalf("WALBytes %d vs %d", fresh.WALBytes(), fork.WALBytes())
+	}
+	if fresh.Footprint() != fork.Footprint() {
+		t.Fatalf("Footprint %d vs %d", fresh.Footprint(), fork.Footprint())
+	}
+}

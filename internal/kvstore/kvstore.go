@@ -7,6 +7,7 @@
 package kvstore
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"sync"
@@ -21,6 +22,15 @@ type DB struct {
 	mu sync.RWMutex
 
 	data map[string][]byte
+
+	// Copy-on-write fork state: base is the frozen parent's data map
+	// (shared, read-only), baseDeleted tombstones base keys that this
+	// fork deleted or shadowed with an overlay entry. Invariant:
+	// data ∩ base ⊆ baseDeleted, so Scan can merge the two maps without
+	// seeing a key twice. Nil base means a root store.
+	base        map[string][]byte
+	baseDeleted map[string]bool
+	frozen      bool
 
 	spaceAmp float64 // on-disk footprint multiplier, >= 1
 
@@ -39,16 +49,53 @@ func Open(spaceAmp float64) *DB {
 	return &DB{data: map[string][]byte{}, spaceAmp: spaceAmp}
 }
 
+// visibleLocked resolves a key through the overlay, then the
+// untombstoned base. Callers must hold db.mu (read or write).
+func (db *DB) visibleLocked(key string) ([]byte, bool) {
+	if v, ok := db.data[key]; ok {
+		return v, true
+	}
+	if db.base != nil && !db.baseDeleted[key] {
+		if v, ok := db.base[key]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// tombstoneLocked hides a base-resident key from future lookups.
+// Callers must hold db.mu for writing.
+func (db *DB) tombstoneLocked(key string) {
+	if db.base == nil {
+		return
+	}
+	if _, ok := db.base[key]; !ok {
+		return
+	}
+	if db.baseDeleted == nil {
+		db.baseDeleted = map[string]bool{}
+	}
+	db.baseDeleted[key] = true
+}
+
+func (db *DB) mutableLocked(op string) {
+	if db.frozen {
+		panic("kvstore: " + op + " on frozen store (snapshot parent)")
+	}
+}
+
 // Put inserts or replaces a key.
 func (db *DB) Put(key string, value []byte) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mutableLocked("Put")
 	entry := int64(len(key)+len(value)) + perEntryOverhead
 	db.walBytes += entry
-	if old, ok := db.data[key]; ok {
+	if old, ok := db.visibleLocked(key); ok {
 		db.logicalBytes -= int64(len(key)+len(old)) + perEntryOverhead
 	}
 	db.data[key] = append([]byte(nil), value...)
+	db.tombstoneLocked(key)
 	db.logicalBytes += entry
 	db.puts++
 }
@@ -68,6 +115,7 @@ func (db *DB) PutAccounted(keyLen, valueLen int) {
 func (db *DB) PutAccountedN(keyBytes, valueBytes, n int64) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mutableLocked("PutAccountedN")
 	entry := keyBytes + valueBytes + n*perEntryOverhead
 	db.walBytes += entry
 	db.logicalBytes += entry
@@ -79,6 +127,7 @@ func (db *DB) PutAccountedN(keyBytes, valueBytes, n int64) {
 func (db *DB) DeleteAccounted(keyLen, valueLen int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mutableLocked("DeleteAccounted")
 	db.walBytes += int64(keyLen) + perEntryOverhead
 	db.logicalBytes -= int64(keyLen+valueLen) + perEntryOverhead
 	db.deletes++
@@ -88,7 +137,7 @@ func (db *DB) DeleteAccounted(keyLen, valueLen int) {
 func (db *DB) Get(key string) ([]byte, bool) {
 	db.mu.Lock()
 	db.gets++
-	v, ok := db.data[key]
+	v, ok := db.visibleLocked(key)
 	var out []byte
 	if ok {
 		out = append([]byte(nil), v...)
@@ -101,10 +150,12 @@ func (db *DB) Get(key string) ([]byte, bool) {
 func (db *DB) Delete(key string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.mutableLocked("Delete")
 	db.walBytes += int64(len(key)) + perEntryOverhead
-	if old, ok := db.data[key]; ok {
+	if old, ok := db.visibleLocked(key); ok {
 		db.logicalBytes -= int64(len(key)+len(old)) + perEntryOverhead
 		delete(db.data, key)
+		db.tombstoneLocked(key)
 	}
 	db.deletes++
 }
@@ -119,11 +170,19 @@ func (db *DB) Scan(prefix string, fn func(key string, value []byte) bool) {
 			keys = append(keys, k)
 		}
 	}
+	// The overlay invariant guarantees base keys visible here are not
+	// also in data, so the merge cannot duplicate.
+	for k := range db.base {
+		if strings.HasPrefix(k, prefix) && !db.baseDeleted[k] {
+			keys = append(keys, k)
+		}
+	}
 	sort.Strings(keys)
 	// Copy values under the lock, then release before the callbacks.
 	vals := make([][]byte, len(keys))
 	for i, k := range keys {
-		vals[i] = append([]byte(nil), db.data[k]...)
+		v, _ := db.visibleLocked(k)
+		vals[i] = append([]byte(nil), v...)
 	}
 	db.mu.RUnlock()
 	for i, k := range keys {
@@ -137,7 +196,11 @@ func (db *DB) Scan(prefix string, fn func(key string, value []byte) bool) {
 func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.data)
+	n := len(db.data)
+	if db.base != nil {
+		n += len(db.base) - len(db.baseDeleted)
+	}
+	return n
 }
 
 // LogicalBytes is the size of live entries (keys + values + framing).
@@ -167,4 +230,39 @@ func (db *DB) Ops() (puts, gets, deletes int64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.puts, db.gets, db.deletes
+}
+
+// Freeze makes the store immutable so it can serve as a shared
+// copy-on-write base for forks. Mutations after Freeze panic (they
+// would corrupt every fork); reads keep working. Idempotent.
+func (db *DB) Freeze() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.frozen = true
+}
+
+// Fork returns a writable copy-on-write child of a frozen store. The
+// child shares the parent's entries until it overwrites or deletes
+// them, and starts from a copy of the parent's accounting so WAL and
+// footprint deltas match a fresh store that replayed the same history.
+// Only single-level forking is supported.
+func (db *DB) Fork() (*DB, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if !db.frozen {
+		return nil, errors.New("kvstore: Fork of unfrozen store")
+	}
+	if db.base != nil {
+		return nil, errors.New("kvstore: Fork of forked store")
+	}
+	return &DB{
+		data:         map[string][]byte{},
+		base:         db.data,
+		spaceAmp:     db.spaceAmp,
+		logicalBytes: db.logicalBytes,
+		walBytes:     db.walBytes,
+		puts:         db.puts,
+		deletes:      db.deletes,
+		gets:         db.gets,
+	}, nil
 }

@@ -1,0 +1,49 @@
+// Package profutil wires runtime/pprof collection into the CLIs so
+// campaign hot spots (cluster build, GF kernels, event engine) can be
+// inspected with `go tool pprof` without ad-hoc instrumentation.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty). The returned
+// stop function ends the CPU profile and, when memPath is non-empty,
+// writes a heap profile; call it exactly once on the way out of main.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profutil: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profutil: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
