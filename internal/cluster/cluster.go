@@ -21,6 +21,7 @@ import (
 	"repro/internal/bluestore"
 	"repro/internal/crush"
 	"repro/internal/erasure"
+	"repro/internal/erasure/codecache"
 
 	// Load the erasure-code plugins, as Ceph loads its EC plugin shared
 	// objects.
@@ -295,7 +296,11 @@ func (c *Cluster) CreatePool(pc PoolConfig) (*Pool, error) {
 	if pc.FailureDomain == "" {
 		pc.FailureDomain = crush.TypeHost
 	}
-	code, err := erasure.New(pc.Plugin, pc.K, pc.M, pc.D)
+	// Codes come from the process-wide registry: constructions are
+	// immutable and their derived-artifact caches are concurrency-safe,
+	// so pools with the same spec — across clusters and snapshot forks —
+	// share one instance and its compiled programs/plans.
+	code, err := codecache.Get(pc.Plugin, pc.K, pc.M, pc.D)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bluestore"
-	"repro/internal/erasure"
+	"repro/internal/erasure/codecache"
 )
 
 // snapPG captures one placement group's post-populate state. The acting
@@ -20,7 +20,7 @@ type snapPG struct {
 }
 
 // snapPool captures one pool: its normalized creation config (so forks
-// rebuild the erasure code without re-running CRUSH for 256 PG
+// look up the shared erasure code without re-running CRUSH for 256 PG
 // placements) and its PGs.
 type snapPool struct {
 	cfg PoolConfig
@@ -97,9 +97,12 @@ func (s *Snapshot) Fork(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	for _, sp := range s.pools {
-		// Codes are rebuilt per fork: construction is cheap and it keeps
-		// each fork's decode state private across the parallel fan-out.
-		code, err := erasure.New(sp.cfg.Plugin, sp.cfg.K, sp.cfg.M, sp.cfg.D)
+		// Forks receive the registry-shared code for the pool spec: the
+		// construction is immutable and its plan/program caches are
+		// concurrency-safe with singleflight fill, so the parallel
+		// fan-out shares compiled state instead of rebuilding it per
+		// fork. ECFAULT_NOCODECACHE restores private per-fork codes.
+		code, err := codecache.Get(sp.cfg.Plugin, sp.cfg.K, sp.cfg.M, sp.cfg.D)
 		if err != nil {
 			return nil, err
 		}

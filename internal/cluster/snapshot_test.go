@@ -175,3 +175,39 @@ func TestSnapshotFreezesParentStores(t *testing.T) {
 		t.Fatal("bulk load into frozen parent should fail")
 	}
 }
+
+// TestForksShareCodeInstance: the parent pool and every fork receive the
+// same registry code for the spec, so forks stop paying construction and
+// share warm plan/program caches. ECFAULT_NOCODECACHE restores private
+// instances per fork.
+func TestForksShareCodeInstance(t *testing.T) {
+	parent := populateSmall(t, nil)
+	snap := parent.Snapshot()
+	f1, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := snap.Fork(snap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, _ := parent.Pool("ecpool")
+	p1, _ := f1.Pool("ecpool")
+	p2, _ := f2.Pool("ecpool")
+	if pp.Code != p1.Code || p1.Code != p2.Code {
+		t.Fatal("parent and forks should share one registry code instance")
+	}
+
+	t.Setenv("ECFAULT_NOCODECACHE", "1")
+	private := populateSmall(t, nil)
+	psnap := private.Snapshot()
+	pf, err := psnap.Fork(psnap.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppPool, _ := private.Pool("ecpool")
+	pfPool, _ := pf.Pool("ecpool")
+	if ppPool.Code == pfPool.Code {
+		t.Fatal("ECFAULT_NOCODECACHE set but fork shares the parent code")
+	}
+}

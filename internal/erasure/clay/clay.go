@@ -43,7 +43,11 @@ const smallSubChunk = 256
 // of the field.
 const gamma byte = 2
 
-// Clay is a Clay code instance. It is safe for concurrent use.
+// Clay is a Clay code instance. The construction (base generator,
+// coupling transforms, plane geometry) is immutable after New; plane
+// solvers and repair plans are derived artifacts held in concurrency-safe
+// singleflight caches, so one instance is safe to share across goroutines
+// and snapshot forks.
 type Clay struct {
 	k, m, d int
 	q, t    int
@@ -64,13 +68,9 @@ type Clay struct {
 	//	uncoupleRow: U2 = C1/gamma + U1/gamma
 	pairRow, coupleRow, uncoupleRow *gf256.RowPlan
 
-	decodeLRU *kernel.LRU[*planeSolver] // erased-node mask -> compiled plane solver
+	decodeLRU *kernel.Sharded[*planeSolver] // erased-node mask -> compiled plane solver
+	plans     *erasure.PlanCache           // failed mask -> repair plan
 }
-
-// decodeCacheSize bounds the plane-solver cache; a cluster sees few
-// distinct erasure patterns at once, so this keeps hits near 1 with real
-// LRU eviction instead of the old wipe-when-big map.
-const decodeCacheSize = 256
 
 // New constructs a Clay(k+m, k, d) code. Only the repair-optimal
 // configuration d = k+m-1 is supported (Ceph's default); other values
@@ -112,7 +112,8 @@ func New(k, m, d int) (*Clay, error) {
 		pairRow:     gf256.CompileRow([]byte{invG2, gf256.Mul(invG2, gamma)}),
 		coupleRow:   gf256.CompileRow([]byte{1, gamma}),
 		uncoupleRow: gf256.CompileRow([]byte{invG, invG}),
-		decodeLRU:   kernel.NewLRU[*planeSolver](decodeCacheSize),
+		decodeLRU:   kernel.NewSharded[*planeSolver](kernel.DecodeCacheSize()),
+		plans:       erasure.NewPlanCache(n),
 	}
 	return c, nil
 }
@@ -508,8 +509,15 @@ func (c *Clay) repairPlanes(u0 int) []int {
 // RepairPlan implements erasure.Code. A single failure uses the
 // repair-optimal plan (beta sub-chunks from each of the d = n-1 helpers);
 // multiple failures fall back to reading all sub-chunks from every
-// survivor, as the Ceph plugin does.
+// survivor, as the Ceph plugin does. Plans are memoized per failed set
+// and shared; callers must not mutate them.
 func (c *Clay) RepairPlan(failed []int) (*erasure.Plan, error) {
+	return c.plans.Get(failed, func() (*erasure.Plan, error) {
+		return c.buildRepairPlan(failed)
+	})
+}
+
+func (c *Clay) buildRepairPlan(failed []int) (*erasure.Plan, error) {
 	if len(failed) == 0 {
 		return &erasure.Plan{SubChunkTotal: c.alpha}, nil
 	}

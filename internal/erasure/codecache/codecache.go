@@ -1,0 +1,116 @@
+// Package codecache is the process-wide registry of shared erasure code
+// instances, keyed by plugin spec (plugin, k, m, d). The paper's study
+// sweeps many configurations of the same few codes, so cluster pools,
+// snapshot forks, and experiment cells that share a spec all receive one
+// Code instance instead of rebuilding constructions per fork — and with
+// it the instance's derived-artifact caches (decode programs, plane
+// solvers, repair plans), which are concurrency-safe with singleflight
+// fill.
+//
+// Ownership rules: everything a code builds in New is frozen there;
+// everything derived afterwards is cached inside the instance; nothing
+// is ever invalidated, so the registry itself is append-only and
+// unbounded (the spec space a process touches is tiny). Set
+// ECFAULT_NOCODECACHE to bypass sharing and hand every caller a private
+// instance, e.g. to A/B the construction cost.
+package codecache
+
+import (
+	"os"
+	"sync"
+
+	"repro/internal/erasure"
+)
+
+// Spec identifies one code configuration. D is the plugin-specific extra
+// parameter (Clay's repair degree, LRC's locality, SHEC's durability).
+type Spec struct {
+	Plugin  string
+	K, M, D int
+}
+
+// Normalize resolves the plugins' d-defaults so that callers passing 0
+// and callers passing the resolved value share one entry. The defaults
+// mirror the plugin init registrations (clay: k+m-1, lrc: 2 groups,
+// shec: ceil(m/2)); codecache tests cross-check them against the
+// registry so drift gets caught.
+func Normalize(s Spec) Spec {
+	if s.D == 0 {
+		switch s.Plugin {
+		case "clay":
+			s.D = s.K + s.M - 1
+		case "lrc":
+			s.D = 2
+		case "shec":
+			s.D = (s.M + 1) / 2
+		}
+	}
+	return s
+}
+
+// entry holds one shared instance; the sync.Once makes construction
+// singleflight without holding the registry lock.
+type entry struct {
+	once sync.Once
+	code erasure.Code
+	err  error
+}
+
+var (
+	mu           sync.Mutex
+	entries      = map[Spec]*entry{}
+	hits, misses int64
+)
+
+// Enabled reports whether the registry shares instances; it is off when
+// ECFAULT_NOCODECACHE is set.
+func Enabled() bool { return os.Getenv("ECFAULT_NOCODECACHE") == "" }
+
+// Get returns the shared code instance for the spec, constructing it on
+// first use. Construction errors are cached too: the plugin set and spec
+// are fixed at init/config time, so a failing spec keeps failing. With
+// sharing disabled it returns a fresh private instance per call.
+func Get(plugin string, k, m, d int) (erasure.Code, error) {
+	if !Enabled() {
+		return erasure.New(plugin, k, m, d)
+	}
+	spec := Normalize(Spec{Plugin: plugin, K: k, M: m, D: d})
+	mu.Lock()
+	e, ok := entries[spec]
+	if ok {
+		hits++
+	} else {
+		e = &entry{}
+		entries[spec] = e
+		misses++
+	}
+	mu.Unlock()
+	e.once.Do(func() {
+		e.code, e.err = erasure.New(spec.Plugin, spec.K, spec.M, spec.D)
+	})
+	return e.code, e.err
+}
+
+// Stats returns the registry hit/miss counters (for tests and benchmarks).
+func Stats() (h, m int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits, misses
+}
+
+// Len returns the number of distinct specs constructed.
+func Len() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(entries)
+}
+
+// Reset drops all shared instances and counters. Tests only: callers
+// holding codes from before a Reset keep working, they just stop being
+// shared with later callers.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	entries = map[Spec]*entry{}
+	hits, misses = 0, 0
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/erasure"
+	"repro/internal/erasure/codecache"
 	"repro/internal/gf256"
 )
 
@@ -224,5 +225,83 @@ func BenchmarkBackendsEncode(b *testing.B) {
 			}
 		})
 		restore()
+	}
+}
+
+// TestBackendsSharedRegistryIdentity re-runs the SetBackend sweep against
+// the registry-shared instance of each geometry: encode, repair, and
+// decode under every backend must be byte-identical between the shared
+// code (whose cached programs may have been compiled under a different
+// backend earlier in the sweep) and a cold private instance.
+func TestBackendsSharedRegistryIdentity(t *testing.T) {
+	for _, g := range backendGeometries {
+		shared, err := codecache.Get(g.plugin, g.k, g.m, g.d)
+		if err != nil {
+			t.Fatalf("%s(k=%d,m=%d,d=%d): %v", g.plugin, g.k, g.m, g.d, err)
+		}
+		again, err := codecache.Get(g.plugin, g.k, g.m, g.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared != again {
+			t.Fatalf("%s: registry returned distinct instances", g.plugin)
+		}
+		private, err := erasure.New(g.plugin, g.k, g.m, g.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(Describe(shared), func(t *testing.T) {
+			size := shared.SubChunks() * 51
+			rng := rand.New(rand.NewSource(int64(g.k*29 + g.m)))
+			data := make([][]byte, shared.K())
+			for i := range data {
+				data[i] = make([]byte, size)
+				rng.Read(data[i])
+			}
+			patterns := [][]int{{0}, {shared.K()}}
+			if erasure.CanRecover(private, []int{1, shared.K() + 1}) {
+				patterns = append(patterns, []int{1, shared.K() + 1})
+			}
+			for _, backend := range gf256.Backends() {
+				want := encodeUnder(t, private, backend, data, 0)
+				got := encodeUnder(t, shared, backend, data, 0)
+				for i := shared.K(); i < shared.N(); i++ {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Fatalf("backend=%s: shared parity shard %d differs from private", backend, i)
+					}
+				}
+				restore, err := gf256.SetBackend(backend)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, failed := range patterns {
+					shards := alignedShards(shared, want, 0)
+					for _, f := range failed {
+						shards[f] = nil
+					}
+					if err := shared.Repair(shards, failed); err != nil {
+						t.Fatalf("backend=%s failed=%v: shared repair: %v", backend, failed, err)
+					}
+					for _, f := range failed {
+						if !bytes.Equal(shards[f], want[f]) {
+							t.Fatalf("backend=%s failed=%v: shared repair of shard %d diverges", backend, failed, f)
+						}
+					}
+					dec := alignedShards(shared, want, 0)
+					for _, f := range failed {
+						dec[f] = nil
+					}
+					if err := shared.Decode(dec); err != nil {
+						t.Fatalf("backend=%s lost=%v: shared decode: %v", backend, failed, err)
+					}
+					for i := range dec {
+						if !bytes.Equal(dec[i], want[i]) {
+							t.Fatalf("backend=%s lost=%v: shared decode of shard %d diverges", backend, failed, i)
+						}
+					}
+				}
+				restore()
+			}
+		})
 	}
 }

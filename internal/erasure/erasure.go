@@ -78,7 +78,9 @@ type HelperRead struct {
 	Runs      int   // number of contiguous runs within SubChunks
 }
 
-// Plan is the I/O plan for a repair.
+// Plan is the I/O plan for a repair. Plans returned by RepairPlan are
+// memoized and shared between concurrent callers (and between snapshot
+// forks of a registry code), so callers must treat them as immutable.
 type Plan struct {
 	Failed        []int
 	Helpers       []HelperRead

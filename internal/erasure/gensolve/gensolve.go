@@ -18,11 +18,6 @@ import (
 // ErrUndecodable is returned when the surviving rows do not span the data.
 var ErrUndecodable = errors.New("gensolve: erasure pattern not decodable")
 
-// solverCacheSize bounds the per-generator pattern cache. Fault-injection
-// sweeps revisit a small set of patterns, so a real LRU at this size keeps
-// the hit rate near 1 without the old unbounded-then-wiped map behavior.
-const solverCacheSize = 512
-
 // Solver expresses lost shards over a set of surviving input shards. The
 // reconstruction rows are compiled into a kernel program at build time, so
 // Apply is a single program execution per stripe.
@@ -61,17 +56,20 @@ func (s *Solver) Apply(shards [][]byte, size int) {
 	}
 }
 
-// Cache memoizes solvers per erasure pattern for one generator.
+// Cache memoizes solvers per erasure pattern for one generator. Fills
+// are singleflight and the cache is bounded by the shared
+// derived-artifact size (ECFAULT_DECODE_CACHE), so one Cache serves
+// concurrent goroutines without duplicate solves.
 type Cache struct {
 	gen *gfmat.Matrix
 	k   int
 
-	lru *kernel.LRU[*Solver]
+	lru *kernel.Sharded[*Solver]
 }
 
 // NewCache wraps a generator matrix (n rows, k columns).
 func NewCache(gen *gfmat.Matrix) *Cache {
-	return &Cache{gen: gen, k: gen.Cols, lru: kernel.NewLRU[*Solver](solverCacheSize)}
+	return &Cache{gen: gen, k: gen.Cols, lru: kernel.NewSharded[*Solver](kernel.DecodeCacheSize())}
 }
 
 // Solver returns the decode solution for the given erasure flags (length

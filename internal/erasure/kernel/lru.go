@@ -12,6 +12,7 @@
 package kernel
 
 import (
+	"errors"
 	"math/bits"
 	"sync"
 )
@@ -76,12 +77,25 @@ type lruEntry[V any] struct {
 // LRU is a bounded map from Mask keys to values with least-recently-used
 // eviction. It is safe for concurrent use. Get performs no allocations,
 // so cache hits on the decode hot path cost a mutex and a map lookup.
+// GetOrCompute fills misses singleflight-style: one goroutine computes
+// while concurrent callers for the same key wait for its result, so a
+// shared code instance never compiles the same program twice.
 type LRU[V any] struct {
 	mu       sync.Mutex
 	capacity int
 	entries  map[Mask]*lruEntry[V]
 	head     *lruEntry[V] // most recently used
 	tail     *lruEntry[V] // least recently used
+
+	fills map[Mask]*fill[V] // in-flight GetOrCompute computations
+}
+
+// fill tracks one in-flight computation. Waiters block on done; the
+// leader stores the outcome before closing it.
+type fill[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
 }
 
 // NewLRU returns an LRU holding at most capacity entries. capacity < 1
@@ -90,7 +104,11 @@ func NewLRU[V any](capacity int) *LRU[V] {
 	if capacity < 1 {
 		panic("kernel: LRU capacity must be positive")
 	}
-	return &LRU[V]{capacity: capacity, entries: make(map[Mask]*lruEntry[V], capacity)}
+	return &LRU[V]{
+		capacity: capacity,
+		entries:  make(map[Mask]*lruEntry[V], capacity),
+		fills:    make(map[Mask]*fill[V]),
+	}
 }
 
 // Get returns the value for key and promotes it to most recently used.
@@ -113,6 +131,10 @@ func (l *LRU[V]) Get(key Mask) (V, bool) {
 func (l *LRU[V]) Put(key Mask, val V) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.putLocked(key, val)
+}
+
+func (l *LRU[V]) putLocked(key Mask, val V) {
 	if e, ok := l.entries[key]; ok {
 		e.val = val
 		l.moveToFront(e)
@@ -128,22 +150,55 @@ func (l *LRU[V]) Put(key Mask, val V) {
 	}
 }
 
+// errComputePanicked is handed to waiters when the leading computation
+// panicked; the panic itself propagates on the leader's goroutine.
+var errComputePanicked = errors.New("kernel: cache fill panicked")
+
 // GetOrCompute returns the cached value for key, or computes, caches, and
-// returns it. The compute function runs without the cache lock, so
-// concurrent callers may compute the same value; the first Put wins and
-// later ones refresh it, which is harmless for the immutable values
-// cached here.
+// returns it. Fills are singleflight: when several goroutines miss on the
+// same key, one runs compute (without the cache lock) and the rest block
+// until it finishes, then share its result. Errors are not cached — a
+// later caller retries the computation. Values must be immutable, as one
+// value is returned to every caller.
 func (l *LRU[V]) GetOrCompute(key Mask, compute func() (V, error)) (V, error) {
-	if v, ok := l.Get(key); ok {
+	l.mu.Lock()
+	if e, ok := l.entries[key]; ok {
+		l.moveToFront(e)
+		v := e.val
+		l.mu.Unlock()
 		return v, nil
 	}
-	v, err := compute()
-	if err != nil {
-		var zero V
-		return zero, err
+	if f, ok := l.fills[key]; ok {
+		l.mu.Unlock()
+		<-f.done
+		return f.val, f.err
 	}
-	l.Put(key, v)
-	return v, nil
+	f := &fill[V]{done: make(chan struct{})}
+	l.fills[key] = f
+	l.mu.Unlock()
+
+	finished := false
+	defer func() {
+		if !finished {
+			// compute panicked: unblock waiters with an error and let the
+			// panic propagate on this goroutine.
+			f.err = errComputePanicked
+		}
+		l.mu.Lock()
+		delete(l.fills, key)
+		if f.err == nil {
+			l.putLocked(key, f.val)
+		}
+		l.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	finished = true
+	if f.err != nil {
+		var zero V
+		return zero, f.err
+	}
+	return f.val, nil
 }
 
 // Len returns the current entry count.

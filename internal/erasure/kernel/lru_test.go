@@ -1,6 +1,9 @@
 package kernel
 
 import (
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -115,5 +118,166 @@ func TestLRUGetOrCompute(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestLRUGetOrComputeSingleflight: concurrent misses on one key run the
+// compute function exactly once; every caller receives the same value.
+func TestLRUGetOrComputeSingleflight(t *testing.T) {
+	l := NewLRU[*int](4)
+	var calls int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() (*int, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(started)
+		}
+		<-release
+		v := 99
+		return &v, nil
+	}
+
+	const waiters = 8
+	results := make(chan *int, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			v, err := l.GetOrCompute(MaskOf(3), compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}()
+	}
+	<-started // the leader is inside compute; everyone else must wait
+	close(release)
+
+	var first *int
+	for i := 0; i < waiters; i++ {
+		v := <-results
+		if first == nil {
+			first = v
+		} else if v != first {
+			t.Fatal("waiters received distinct values")
+		}
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+}
+
+// TestLRUGetOrComputeErrorNotCached: a failed fill is retried by the next
+// caller rather than poisoning the key.
+func TestLRUGetOrComputeError(t *testing.T) {
+	l := NewLRU[int](2)
+	calls := 0
+	boom := errors.New("boom")
+	fail := func() (int, error) { calls++; return 0, boom }
+	if _, err := l.GetOrCompute(MaskOf(1), fail); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := l.GetOrCompute(MaskOf(1), fail); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after failed fills, want 0", l.Len())
+	}
+}
+
+// TestLRUGetOrComputePanic: a panicking fill propagates on the leader,
+// unblocks waiters with an error, and leaves the cache usable.
+func TestLRUGetOrComputePanic(t *testing.T) {
+	l := NewLRU[int](2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		l.GetOrCompute(MaskOf(2), func() (int, error) { panic("kaboom") })
+	}()
+	v, err := l.GetOrCompute(MaskOf(2), func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("GetOrCompute after panic = %d, %v", v, err)
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	s := NewSharded[int](64)
+	for i := 0; i < 32; i++ {
+		s.Put(MaskOf(i), i)
+	}
+	for i := 0; i < 32; i++ {
+		if v, ok := s.Get(MaskOf(i)); !ok || v != i {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+	calls := 0
+	v, err := s.GetOrCompute(MaskOf(100), func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("GetOrCompute = %d, %v", v, err)
+	}
+	s.GetOrCompute(MaskOf(100), func() (int, error) { calls++; return 7, nil })
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestShardedTinyCapacity: capacities below the shard count collapse to
+// one shard so the bound stays exact.
+func TestShardedTinyCapacity(t *testing.T) {
+	s := NewSharded[int](2)
+	s.Put(MaskOf(1), 1)
+	s.Put(MaskOf(2), 2)
+	s.Put(MaskOf(3), 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (strict bound for tiny caches)", s.Len())
+	}
+}
+
+// TestShardedConcurrent drives mixed hits/misses from many goroutines;
+// meaningful mostly under -race.
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[int](128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := MaskOf((w*7 + i) % 64)
+				want := (w*7 + i) % 64
+				v, err := s.GetOrCompute(key, func() (int, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("GetOrCompute = %d, %v; want %d", v, err, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDecodeCacheSizeEnv(t *testing.T) {
+	if got := DecodeCacheSize(); got != DefaultDecodeCacheSize {
+		t.Fatalf("default = %d, want %d", got, DefaultDecodeCacheSize)
+	}
+	t.Setenv("ECFAULT_DECODE_CACHE", "32")
+	if got := DecodeCacheSize(); got != 32 {
+		t.Fatalf("override = %d, want 32", got)
+	}
+	t.Setenv("ECFAULT_DECODE_CACHE", "-5")
+	if got := DecodeCacheSize(); got != 1 {
+		t.Fatalf("clamp = %d, want 1", got)
+	}
+	t.Setenv("ECFAULT_DECODE_CACHE", "not-a-number")
+	if got := DecodeCacheSize(); got != DefaultDecodeCacheSize {
+		t.Fatalf("garbage = %d, want default %d", got, DefaultDecodeCacheSize)
 	}
 }

@@ -22,8 +22,11 @@ import (
 )
 
 // LRC is an LRC(k, l, g) code instance. Chunk order: k data, then l local
-// parities (one per group), then g global parities. Safe for concurrent
-// use.
+// parities (one per group), then g global parities. The construction
+// (generator, group structure, encode program) is immutable after New;
+// pattern solvers and repair plans live in concurrency-safe singleflight
+// caches, so one instance is safe to share across goroutines and
+// snapshot forks.
 type LRC struct {
 	k, l, g   int
 	groupSize int
@@ -31,6 +34,7 @@ type LRC struct {
 	enc       *kernel.Program // parity rows of gen, compiled once
 
 	solvers *gensolve.Cache
+	plans   *erasure.PlanCache // failed mask -> repair plan
 }
 
 // New constructs an LRC with k data chunks in l local groups (l must
@@ -70,6 +74,7 @@ func New(k, l, g int) (*LRC, error) {
 		k: k, l: l, g: g, groupSize: groupSize, gen: gen,
 		enc:     kernel.CompileMatrix(l+g, func(i int) []byte { return gen.Row(k + i) }),
 		solvers: gensolve.NewCache(gen),
+		plans:   erasure.NewPlanCache(n),
 	}, nil
 }
 
@@ -195,8 +200,15 @@ func (c *LRC) Decode(shards [][]byte) error {
 
 // RepairPlan implements erasure.Code. Single failures within a group read
 // only that group (the locality win); other patterns fall back to the
-// full decode's input set.
+// full decode's input set. Plans are memoized per failed set and shared;
+// callers must not mutate them.
 func (c *LRC) RepairPlan(failed []int) (*erasure.Plan, error) {
+	return c.plans.Get(failed, func() (*erasure.Plan, error) {
+		return c.buildRepairPlan(failed)
+	})
+}
+
+func (c *LRC) buildRepairPlan(failed []int) (*erasure.Plan, error) {
 	if len(failed) == 0 {
 		return &erasure.Plan{SubChunkTotal: 1}, nil
 	}

@@ -30,11 +30,6 @@ func (t Technique) String() string {
 	return "reed_sol_van"
 }
 
-// decodeCacheSize bounds the per-code survivor-pattern cache. Patterns
-// repeat heavily in practice (a cluster has few concurrent failure sets),
-// so a modest bound with real LRU eviction keeps the hit rate high.
-const decodeCacheSize = 1024
-
 // decProgram is a compiled reconstruction for one survivor set: the rows
 // of the inverted sub-generator belonging to the missing data shards,
 // ready to run over the k survivor shards.
@@ -44,14 +39,19 @@ type decProgram struct {
 	prog    *kernel.Program
 }
 
-// RS is a Reed-Solomon code instance. It is safe for concurrent use.
+// RS is a Reed-Solomon code instance. The construction (generator matrix,
+// encode program) is immutable after New; decode programs and repair
+// plans are derived artifacts held in concurrency-safe singleflight
+// caches, so one instance is safe to share across goroutines and
+// snapshot forks.
 type RS struct {
 	k, m      int
 	technique Technique
 	gen       *gfmat.Matrix   // n x k systematic generator
 	enc       *kernel.Program // parity rows of gen, compiled once
 
-	decodeLRU *kernel.LRU[*decProgram] // survivor mask -> compiled decode
+	decodeLRU *kernel.Sharded[*decProgram] // survivor mask -> compiled decode
+	plans     *erasure.PlanCache           // failed mask -> repair plan
 }
 
 // New constructs an RS(k+m, k) code.
@@ -75,7 +75,8 @@ func New(k, m int, technique Technique) (*RS, error) {
 	return &RS{
 		k: k, m: m, technique: technique, gen: gen,
 		enc:       kernel.Compile(parity),
-		decodeLRU: kernel.NewLRU[*decProgram](decodeCacheSize),
+		decodeLRU: kernel.NewSharded[*decProgram](kernel.DecodeCacheSize()),
+		plans:     erasure.NewPlanCache(k + m),
 	}, nil
 }
 
@@ -218,8 +219,15 @@ func (r *RS) decodeProgram(rows []int) (*decProgram, error) {
 }
 
 // RepairPlan implements erasure.Code: RS repair reads k whole surviving
-// chunks (data shards preferred, matching Ceph's shard ordering).
+// chunks (data shards preferred, matching Ceph's shard ordering). Plans
+// are memoized per failed set and shared; callers must not mutate them.
 func (r *RS) RepairPlan(failed []int) (*erasure.Plan, error) {
+	return r.plans.Get(failed, func() (*erasure.Plan, error) {
+		return r.buildRepairPlan(failed)
+	})
+}
+
+func (r *RS) buildRepairPlan(failed []int) (*erasure.Plan, error) {
 	if len(failed) == 0 {
 		return &erasure.Plan{SubChunkTotal: 1}, nil
 	}

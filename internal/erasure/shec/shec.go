@@ -21,7 +21,10 @@ import (
 )
 
 // SHEC is a SHEC(k, m, c) instance. Chunk order: k data then m parities.
-// Safe for concurrent use.
+// The construction (generator, window layout, encode program) is
+// immutable after New; pattern solvers and repair plans live in
+// concurrency-safe singleflight caches, so one instance is safe to share
+// across goroutines and snapshot forks.
 type SHEC struct {
 	k, m, c int
 	window  int
@@ -30,6 +33,7 @@ type SHEC struct {
 	enc     *kernel.Program // parity rows of gen, compiled once
 
 	solvers *gensolve.Cache
+	plans   *erasure.PlanCache // failed mask -> repair plan
 }
 
 // New constructs SHEC(k, m, c): m shingled parities with target
@@ -72,6 +76,7 @@ func New(k, m, c int) (*SHEC, error) {
 	s.gen = gen
 	s.enc = kernel.CompileMatrix(m, func(i int) []byte { return gen.Row(k + i) })
 	s.solvers = gensolve.NewCache(gen)
+	s.plans = erasure.NewPlanCache(k + m)
 	return s, nil
 }
 
@@ -197,8 +202,15 @@ func (s *SHEC) Decode(shards [][]byte) error {
 
 // RepairPlan implements erasure.Code. A single data failure reads one
 // covering parity's window (window-1 data chunks plus the parity, fewer
-// than Reed-Solomon's k); other patterns use the decode input set.
+// than Reed-Solomon's k); other patterns use the decode input set. Plans
+// are memoized per failed set and shared; callers must not mutate them.
 func (s *SHEC) RepairPlan(failed []int) (*erasure.Plan, error) {
+	return s.plans.Get(failed, func() (*erasure.Plan, error) {
+		return s.buildRepairPlan(failed)
+	})
+}
+
+func (s *SHEC) buildRepairPlan(failed []int) (*erasure.Plan, error) {
 	if len(failed) == 0 {
 		return &erasure.Plan{SubChunkTotal: 1}, nil
 	}

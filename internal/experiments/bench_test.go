@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/parallel"
 )
 
@@ -27,6 +28,34 @@ func BenchmarkSimEngine(b *testing.B) {
 				// iterations.
 				ResetSnapshotCache()
 				if _, err := Fig2Suite(scale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotFork measures the per-cell setup cost a campaign pays
+// after the one-time populate: one copy-on-write fork plus a full (tiny)
+// recovery, so the fork-side construction and first-plan compilation
+// dominate the iteration. The A/B lever is the shared code registry:
+// with ECFAULT_NOCODECACHE=1 every fork rebuilds its erasure code and
+// recompiles plans/programs; with the registry on (default) forks share
+// one instance and its warm caches.
+func BenchmarkSnapshotFork(b *testing.B) {
+	const scale = 400 // 25 objects: recovery is small, setup dominates
+	for _, c := range Codes {
+		b.Run("plugin="+c.Plugin, func(b *testing.B) {
+			prev := parallel.SetWorkers(1)
+			defer parallel.SetWorkers(prev)
+			p := withCode(baseProfile(scale), c.Plugin, c.D)
+			snap, err := core.Populate(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := snap.Run(p); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,7 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durability"
-	"repro/internal/erasure"
+	"repro/internal/erasure/codecache"
 	"repro/internal/logsys"
 	"repro/internal/parallel"
 	"repro/internal/wamodel"
@@ -539,7 +539,7 @@ func PluginComparison(scale int) ([]PluginRow, error) {
 	// the rows input-order stable regardless of scheduling.
 	parallel.ForEach(len(configs), parallel.Workers(), func(i int) {
 		cfg := configs[i]
-		code, err := erasure.New(cfg.plugin, cfg.k, cfg.m, cfg.d)
+		code, err := codecache.Get(cfg.plugin, cfg.k, cfg.m, cfg.d)
 		if err != nil {
 			return
 		}

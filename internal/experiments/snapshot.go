@@ -25,7 +25,9 @@ type snapshotEntry struct {
 
 // snapshotCache is a bounded LRU of populated-cluster snapshots keyed by
 // core.Profile.LayoutKey. It is shared across the parallel cell fan-out
-// of every experiment in the process.
+// of every experiment in the process. Snapshots carry no erasure codes:
+// forks look their pool's code up in the process-wide codecache registry,
+// so evicting a snapshot never discards compiled plans or programs.
 type snapshotCache struct {
 	mu      sync.Mutex
 	bound   int

@@ -19,7 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durability"
-	"repro/internal/erasure"
+	"repro/internal/erasure/codecache"
 	"repro/internal/parallel"
 )
 
@@ -155,7 +155,7 @@ func evaluate(p core.Profile) Candidate {
 
 	// Durability: the measured recovery time is the repair MTTR.
 	if cand.RecoveryTime > 0 {
-		code, err := erasure.New(p.Pool.Plugin, p.Pool.K, p.Pool.M, p.Pool.D)
+		code, err := codecache.Get(p.Pool.Plugin, p.Pool.K, p.Pool.M, p.Pool.D)
 		if err == nil {
 			rep, derr := durability.Evaluate(code, durability.Params{
 				DeviceAFR: 0.02,

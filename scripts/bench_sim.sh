@@ -29,8 +29,10 @@ while getopts "b:n:g" opt; do
   esac
 done
 
-bench() { # bench <env...> -- runs the benchmark, prints ns/op
-  env "$@" go test ./internal/experiments -run xxx -bench "$BENCH" \
+bench() { # bench <regex> <env...> -- runs the benchmark, prints ns/op
+  local regex=$1
+  shift
+  env "$@" go test ./internal/experiments -run xxx -bench "$regex" \
     -benchtime "$BENCHTIME" -count=1 2>/dev/null |
     awk '/^Benchmark/ { print $3; exit }'
 }
@@ -43,19 +45,39 @@ if [ "$STASH_MODE" = 1 ]; then
   echo "== before: $(git rev-parse --short HEAD) (uncommitted changes stashed) =="
   git stash push --quiet --include-untracked -m bench_sim
   trap 'git stash pop --quiet' EXIT
-  BEFORE=$(bench)
+  BEFORE=$(bench "$BENCH")
   git stash pop --quiet
   trap - EXIT
   echo "== after: working tree =="
-  AFTER=$(bench)
+  AFTER=$(bench "$BENCH")
 else
   echo "== before: ECFAULT_NOSNAPSHOT=1 (fresh-build per cell) =="
-  BEFORE=$(bench ECFAULT_NOSNAPSHOT=1)
+  BEFORE=$(bench "$BENCH" ECFAULT_NOSNAPSHOT=1)
   echo "== after: snapshot layer on =="
-  AFTER=$(bench)
+  AFTER=$(bench "$BENCH")
 fi
 
 echo "before: ${BEFORE} ns/op"
 echo "after:  ${AFTER} ns/op"
 awk -v b="$BEFORE" -v a="$AFTER" \
   'BEGIN { printf "speedup: %.2fx\n", b / a }'
+
+# Fork-setup A/B (default mode only): the same working tree benched with
+# the shared code registry off (every fork rebuilds its erasure code and
+# recompiles plans) versus on. One fork iteration is ~2 ms, so this
+# section pins its own iteration count instead of inheriting -n (sized
+# for the heavyweight campaign benchmark). Labels deliberately avoid the
+# "speedup" prefix CI's bench-smoke gate parses.
+if [ "$STASH_MODE" = 0 ]; then
+  BENCHTIME=300x
+  for plugin in jerasure_reed_sol_van clay; do
+    regex="BenchmarkSnapshotFork/plugin=${plugin}\$"
+    echo "== fork setup (${plugin}): before ECFAULT_NOCODECACHE=1, after registry on =="
+    FB=$(bench "$regex" ECFAULT_NOCODECACHE=1)
+    FA=$(bench "$regex")
+    echo "fork before (${plugin}): ${FB} ns/op"
+    echo "fork after  (${plugin}): ${FA} ns/op"
+    awk -v b="$FB" -v a="$FA" \
+      'BEGIN { printf "fork speedup: %.2fx\n", b / a }'
+  done
+fi

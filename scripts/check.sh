@@ -17,6 +17,7 @@ echo "== go test -race (concurrent packages + kernels) =="
 go test -race -count=1 \
     ./internal/gf256 \
     ./internal/erasure/... \
+    ./internal/cluster \
     ./internal/experiments \
     ./internal/core \
     ./internal/parallel \
