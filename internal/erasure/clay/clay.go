@@ -59,6 +59,12 @@ type Clay struct {
 
 	base *gfmat.Matrix // nt x kInt MDS generator for the uncoupled planes
 
+	// digitPlanes[y*q+x] lists the planes z with digit(z, y) == x, in
+	// ascending order: the segment-index sets the batched transforms hand
+	// to the gf256 segment kernels when a group spans the whole plane
+	// space. Built once in New; immutable.
+	digitPlanes [][]int32
+
 	// The pairwise coupling transforms, compiled once into two-source row
 	// kernels (both inputs stream through the word-wide gf256 kernel
 	// instead of per-byte table lookups):
@@ -69,7 +75,7 @@ type Clay struct {
 	pairRow, coupleRow, uncoupleRow *gf256.RowPlan
 
 	decodeLRU *kernel.Sharded[*planeSolver] // erased-node mask -> compiled plane solver
-	plans     *erasure.PlanCache           // failed mask -> repair plan
+	plans     *erasure.PlanCache            // failed mask -> repair plan
 }
 
 // New constructs a Clay(k+m, k, d) code. Only the repair-optimal
@@ -114,6 +120,22 @@ func New(k, m, d int) (*Clay, error) {
 		uncoupleRow: gf256.CompileRow([]byte{invG, invG}),
 		decodeLRU:   kernel.NewSharded[*planeSolver](kernel.DecodeCacheSize()),
 		plans:       erasure.NewPlanCache(n),
+	}
+	// Planes with digit(z, y) == x form q^y runs of q^(t-1-y) consecutive
+	// planes, q^(t-y) apart.
+	c.digitPlanes = make([][]int32, t*q)
+	slab := make([]int32, 0, t*alpha)
+	for y := 0; y < t; y++ {
+		runLen, stride := pow[t-1-y], pow[t-y]
+		for x := 0; x < q; x++ {
+			start := len(slab)
+			for base := x * runLen; base < alpha; base += stride {
+				for i := 0; i < runLen; i++ {
+					slab = append(slab, int32(base+i))
+				}
+			}
+			c.digitPlanes[y*q+x] = slab[start:len(slab):len(slab)]
+		}
 	}
 	return c, nil
 }
@@ -318,10 +340,10 @@ func (c *Clay) Decode(shards [][]byte) error {
 	}
 
 	// Group planes by intersection score.
-	byScore := make([][]int, c.t+1)
+	byScore := make([][]int32, c.t+1)
 	for z := 0; z < c.alpha; z++ {
 		s := c.intersectionScore(z, erased)
-		byScore[s] = append(byScore[s], z)
+		byScore[s] = append(byScore[s], int32(z))
 	}
 
 	dec, err := c.planeDecoder(erased)
@@ -331,9 +353,19 @@ func (c *Clay) Decode(shards [][]byte) error {
 
 	srcs := make([][]byte, len(dec.survivors))
 	dsts := make([][]byte, len(dec.lost))
+	if Batching() && scs < batchMaxSubChunk {
+		for s := 0; s <= c.t; s++ {
+			if len(byScore[s]) == 0 {
+				continue
+			}
+			c.decodeGroupBatched(byScore[s], erased, C, U, dec, scs, srcs, dsts)
+		}
+		c.convertUCBatched(erased, C, U, scs)
+		return nil
+	}
 	for s := 0; s <= c.t; s++ {
 		for _, z := range byScore[s] {
-			c.decodePlane(z, erased, C, U, dec, scs, srcs, dsts)
+			c.decodePlane(int(z), erased, C, U, dec, scs, srcs, dsts)
 		}
 	}
 
@@ -627,10 +659,13 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 		shards[failedExt] = out
 		return nil
 	}
+	out := make([]byte, size)
+	if Batching() && scs < batchRepairMaxSubChunk {
+		return c.repairBatched(shards, failedExt, scs, out)
+	}
 	u0 := c.internalIndex(failedExt)
 	x0, y0 := c.nodeXY(u0)
 	planes := c.repairPlanes(u0)
-	out := make([]byte, size)
 
 	// C access: virtual nodes read as zero; the failed node must never be
 	// read.

@@ -1,0 +1,377 @@
+package clay
+
+import (
+	"os"
+	"sync/atomic"
+
+	"repro/internal/erasure/kernel"
+)
+
+// Multi-plane batched transforms.
+//
+// Clay's hot loops apply the same coupling coefficients in every plane;
+// only the sub-chunk offsets differ. The per-plane formulation therefore
+// issues alpha tiny kernel calls per pairwise transform pass — at 4 KiB
+// shards (~50 B sub-chunks) the call overhead dwarfs the arithmetic. The
+// batched paths here gather all planes sharing a coefficient pair into
+// one gf256.ApplySegs / kernel.Program.RunSegs invocation:
+//
+//   - Decode processes each intersection-score group with one segment
+//     batch per (node, companion-column) pair plus one batched MDS solve;
+//     for encode (every parity erased) the single group covers all alpha
+//     planes, so the solve collapses to full-buffer Program.Run calls.
+//   - Single repair compacts the beta repair-plane sub-chunks of every
+//     helper into contiguous scratch, which turns the MDS solve and the
+//     companion-plane recovery into full-width contiguous kernel runs and
+//     leaves only the pairwise step strided (in the compact space).
+//
+// Both paths compute the exact same GF(2^8) operations on the same bytes
+// as the per-plane code, so outputs are byte-identical; the conformance
+// suite enforces that across backends with batching toggled. Set
+// ECFAULT_NOBATCH=1 (or SetBatching(false)) to force the per-plane
+// baseline for A/B comparisons.
+
+// batchOff disables the batched paths when set. Stored inverted so the
+// zero value means "batching on".
+var batchOff atomic.Bool
+
+// Batching pays off while per-call kernel dispatch dominates the
+// arithmetic; once sub-chunks grow large every per-plane call already
+// streams enough bytes to amortize itself, and the batched repair's
+// compact-space gather/scatter degrades into pure memcpy overhead on top.
+// Measured crossovers on the reference host (GFNI): decode/encode reach
+// parity near scs≈1600, repair near scs≈128. Vars, not consts, so the
+// identity tests can push large sub-chunks through the batched paths.
+var (
+	batchMaxSubChunk       = 2048
+	batchRepairMaxSubChunk = 128
+)
+
+func init() {
+	if os.Getenv("ECFAULT_NOBATCH") != "" {
+		batchOff.Store(true)
+	}
+}
+
+// Batching reports whether the multi-plane batched decode/repair paths are
+// active.
+func Batching() bool { return !batchOff.Load() }
+
+// SetBatching toggles the batched paths and returns a function restoring
+// the previous setting. It is meant for tests and benchmarks comparing the
+// batched and per-plane formulations; both produce byte-identical output.
+func SetBatching(on bool) (restore func()) {
+	prev := batchOff.Load()
+	batchOff.Store(!on)
+	return func() { batchOff.Store(prev) }
+}
+
+// SetBatchLimits overrides the sub-chunk size gates above which the
+// batched paths yield to the per-plane code, returning a restore
+// function. Identity tests use it to push arbitrarily large sub-chunks
+// through the batched implementations; it is not safe concurrently with
+// Decode/Repair calls.
+func SetBatchLimits(decodeMax, repairMax int) (restore func()) {
+	prevD, prevR := batchMaxSubChunk, batchRepairMaxSubChunk
+	batchMaxSubChunk, batchRepairMaxSubChunk = decodeMax, repairMax
+	return func() { batchMaxSubChunk, batchRepairMaxSubChunk = prevD, prevR }
+}
+
+// copySegs copies the listed scs-byte segments from src to dst, coalescing
+// adjacent segment indices into single copies.
+func copySegs(dst, src []byte, idx []int32, scs int) {
+	for i := 0; i < len(idx); {
+		j := i + 1
+		for j < len(idx) && idx[j] == idx[j-1]+1 {
+			j++
+		}
+		off, end := int(idx[i])*scs, (int(idx[j-1])+1)*scs
+		copy(dst[off:end], src[off:end])
+		i = j
+	}
+}
+
+// solveBatch runs the plane MDS reconstruction across a batch of planes in
+// one program invocation per lost node: sel(u) returns node u's full
+// buffer, idx lists the plane indices to solve. full indicates idx covers
+// every segment of the buffers contiguously, letting the solve run as a
+// plain full-width Program.Run.
+func (dec *planeSolver) solveBatch(srcs, dsts [][]byte, sel func(u int) []byte, idx []int32, scs int, full bool) {
+	if len(dec.lost) == 0 {
+		return
+	}
+	for si, sv := range dec.survivors {
+		srcs[si] = sel(sv)
+	}
+	for li, l := range dec.lost {
+		dsts[li] = sel(l)
+	}
+	dec.progOnce.Do(func() { dec.prog = kernel.Compile(dec.rows) })
+	if full {
+		dec.prog.Run(srcs, dsts, true)
+		return
+	}
+	dec.prog.RunSegs(srcs, dsts, idx, scs, true)
+}
+
+// decodeGroupBatched computes U for every node across all planes of one
+// intersection-score group. Within a group the transforms only read C
+// (any plane) and U of strictly lower-score planes — when a companion node
+// is erased, its companion plane's score is one lower — so running every
+// transform of the group before every solve preserves the per-plane data
+// dependencies exactly.
+func (c *Clay) decodeGroupBatched(group []int32, erased []bool, C, U [][]byte, dec *planeSolver, scs int, srcs, dsts [][]byte) {
+	full := len(group) == c.alpha
+	var pairBuf [2][]byte
+	var deltaBuf [2]int32
+	pair, delta := pairBuf[:], deltaBuf[:]
+
+	// Per-row plane buckets by digit value; full groups use the
+	// precomputed whole-space lists.
+	var bucket [][]int32
+	var counts []int
+	var slab []int32
+	if !full {
+		bucket = make([][]int32, c.q)
+		counts = make([]int, c.q)
+		slab = make([]int32, len(group))
+	}
+	for y := 0; y < c.t; y++ {
+		if !full {
+			clear(counts)
+			pw := c.pow[c.t-1-y]
+			for _, z := range group {
+				counts[(int(z)/pw)%c.q]++
+			}
+			off := 0
+			for x := 0; x < c.q; x++ {
+				bucket[x] = slab[off : off : off+counts[x]]
+				off += counts[x]
+			}
+			for _, z := range group {
+				x := (int(z) / pw) % c.q
+				bucket[x] = append(bucket[x], z)
+			}
+		}
+		for x := 0; x < c.q; x++ {
+			u := x + y*c.q
+			if erased[u] {
+				continue
+			}
+			for xp := 0; xp < c.q; xp++ {
+				idx := c.digitPlanes[y*c.q+xp]
+				if !full {
+					idx = bucket[xp]
+				}
+				if len(idx) == 0 {
+					continue
+				}
+				if xp == x {
+					copySegs(U[u], C[u], idx, scs) // unpaired vertices
+					continue
+				}
+				comp := xp + y*c.q
+				delta[0], delta[1] = 0, int32((x-xp)*c.pow[c.t-1-y])
+				pair[0] = C[u]
+				if !erased[comp] {
+					pair[1] = C[comp]
+					c.pairRow.MulSegs(pair, U[u], idx, delta, scs)
+				} else {
+					pair[1] = U[comp]
+					c.coupleRow.MulSegs(pair, U[u], idx, delta, scs)
+				}
+			}
+		}
+	}
+	dec.solveBatch(srcs, dsts, func(u int) []byte { return U[u] }, group, scs, full)
+}
+
+// convertUCBatched is the batched form of the final U -> C conversion for
+// erased nodes: every plane's U is known, so each (node, companion-column)
+// pair converts in one segment batch over the whole plane space.
+func (c *Clay) convertUCBatched(erased []bool, C, U [][]byte, scs int) {
+	var pairBuf [2][]byte
+	var deltaBuf [2]int32
+	pair, delta := pairBuf[:], deltaBuf[:]
+	for u := 0; u < c.nt; u++ {
+		if !erased[u] {
+			continue
+		}
+		x, y := c.nodeXY(u)
+		for xp := 0; xp < c.q; xp++ {
+			idx := c.digitPlanes[y*c.q+xp]
+			if xp == x {
+				copySegs(C[u], U[u], idx, scs)
+				continue
+			}
+			comp := xp + y*c.q
+			delta[0], delta[1] = 0, int32((x-xp)*c.pow[c.t-1-y])
+			pair[0], pair[1] = U[u], U[comp]
+			c.coupleRow.MulSegs(pair, C[u], idx, delta, scs)
+		}
+	}
+}
+
+// repairBatched is the batched single-failure repair. All coupled-symbol
+// reads during single repair hit only the beta repair-plane sub-chunks, so
+// every helper's repair planes are gathered into a compact contiguous
+// buffer first (position = rank of the plane among the repair planes).
+// Companion planes map to constant rank shifts in the compact space, the
+// MDS solve and the companion-plane recovery become full-width contiguous
+// kernel runs, and only the pairwise transforms remain strided. Scratch is
+// a single slab owned by this call — nothing is shared with the code
+// registry, so concurrent repairs on a shared instance stay independent.
+func (c *Clay) repairBatched(shards [][]byte, failedExt int, scs int, out []byte) error {
+	u0 := c.internalIndex(failedExt)
+	x0, y0 := c.nodeXY(u0)
+	bb := c.beta * scs
+
+	// The repair planes (digit y0 == x0) form pow[y0] runs of
+	// pow[t-1-y0] consecutive planes, runStride apart.
+	runLen := c.pow[c.t-1-y0]
+	runStride := c.pow[c.t-y0]
+	nRuns := c.pow[y0]
+	first := x0 * runLen
+
+	erased := make([]bool, c.nt)
+	for x := 0; x < c.q; x++ {
+		erased[x+y0*c.q] = true // whole column y0 unknown in U-space
+	}
+	dec, err := c.planeDecoder(erased)
+	if err != nil {
+		return err
+	}
+
+	// One slab: compact C for every real helper, compact U for every node,
+	// plus the two step-4 scratch buffers.
+	nReal := 0
+	for u := 0; u < c.nt; u++ {
+		if ext := c.externalIndex(u); ext != -1 && ext != failedExt {
+			nReal++
+		}
+	}
+	slab := make([]byte, (nReal+c.nt+2)*bb)
+	off := 0
+	take := func() []byte { b := slab[off : off+bb]; off += bb; return b }
+	zero := make([]byte, bb)
+
+	Ccomp := make([][]byte, c.nt)
+	uComp := make([][]byte, c.nt)
+	for u := 0; u < c.nt; u++ {
+		ext := c.externalIndex(u)
+		switch {
+		case ext == -1:
+			Ccomp[u] = zero
+		case ext == failedExt:
+			// The failed node's C is never read.
+		default:
+			b := take()
+			p := 0
+			for a := 0; a < nRuns; a++ {
+				z := a*runStride + first
+				n := runLen * scs
+				copy(b[p*scs:p*scs+n], shards[ext][z*scs:z*scs+n])
+				p += runLen
+			}
+			Ccomp[u] = b
+		}
+		uComp[u] = take()
+	}
+	u2, cout := take(), take()
+
+	// Compact-space digit geometry: rank p = Σ_{y != y0} digit(z,y)*red[y],
+	// so companion plane zc = setDigit(z,y,x) sits at rank shift
+	// (x - digit)*red[y], and the planes with digit(z,y) == x' form uniform
+	// red[y]-long runs q*red[y] apart.
+	red := make([]int, c.t)
+	r := 1
+	for y := c.t - 1; y >= 0; y-- {
+		if y == y0 {
+			continue
+		}
+		red[y] = r
+		r *= c.q
+	}
+	idxRed := make([][]int32, c.t*c.q)
+	islab := make([]int32, 0, (c.t-1)*c.beta)
+	for y := 0; y < c.t; y++ {
+		if y == y0 {
+			continue
+		}
+		rl := red[y]
+		for xp := 0; xp < c.q; xp++ {
+			start := len(islab)
+			for base := xp * rl; base < c.beta; base += c.q * rl {
+				for i := 0; i < rl; i++ {
+					islab = append(islab, int32(base+i))
+				}
+			}
+			idxRed[y*c.q+xp] = islab[start:len(islab):len(islab)]
+		}
+	}
+
+	var pairBuf [2][]byte
+	var deltaBuf [2]int32
+	pair, delta := pairBuf[:], deltaBuf[:]
+
+	// Step 1: U for all nodes outside column y0, batched per
+	// (node, companion-column) pair across every repair plane.
+	for u := 0; u < c.nt; u++ {
+		x, y := c.nodeXY(u)
+		if y == y0 {
+			continue
+		}
+		for xp := 0; xp < c.q; xp++ {
+			idx := idxRed[y*c.q+xp]
+			if xp == x {
+				copySegs(uComp[u], Ccomp[u], idx, scs)
+				continue
+			}
+			comp := xp + y*c.q
+			delta[0], delta[1] = 0, int32((x-xp)*red[y])
+			pair[0], pair[1] = Ccomp[u], Ccomp[comp]
+			c.pairRow.MulSegs(pair, uComp[u], idx, delta, scs)
+		}
+	}
+
+	// Step 2: MDS-solve the q unknowns of column y0, all repair planes in
+	// one contiguous program run.
+	srcs := make([][]byte, len(dec.survivors))
+	dsts := make([][]byte, len(dec.lost))
+	dec.solveBatch(srcs, dsts, func(u int) []byte { return uComp[u] }, nil, scs, true)
+
+	// Step 3: the failed node's repair-plane sub-chunks are unpaired:
+	// C = U. Scatter back to the full plane space.
+	p := 0
+	for a := 0; a < nRuns; a++ {
+		z := a*runStride + first
+		n := runLen * scs
+		copy(out[z*scs:z*scs+n], uComp[u0][p*scs:p*scs+n])
+		p += runLen
+	}
+
+	// Step 4: recover the failed node's sub-chunks in the companion planes
+	// via the coupling relations with the column-y0 survivors — two
+	// full-width contiguous transforms per survivor, then a run scatter to
+	// the shifted companion planes w = setDigit(z, y0, x).
+	for x := 0; x < c.q; x++ {
+		if x == x0 {
+			continue
+		}
+		us := x + y0*c.q
+		pair[0], pair[1] = Ccomp[us], uComp[us]
+		c.uncoupleRow.Mul(pair, u2) // U2 = (C(x,y0) - U(x,y0)) / gamma
+		pair[0], pair[1] = u2, uComp[us]
+		c.coupleRow.Mul(pair, cout) // C(x0,y0,w) = U2 + gamma * U(x,y0)
+		shift := (x - x0) * runLen
+		p := 0
+		for a := 0; a < nRuns; a++ {
+			w := a*runStride + first + shift
+			n := runLen * scs
+			copy(out[w*scs:w*scs+n], cout[p*scs:p*scs+n])
+			p += runLen
+		}
+	}
+	shards[failedExt] = out
+	return nil
+}

@@ -1,0 +1,113 @@
+package clay
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// encodeWith runs a fresh encode of the given data shards under the given
+// batching setting and returns the full shard set.
+func encodeWith(t *testing.T, c *Clay, data [][]byte, batched bool) [][]byte {
+	t.Helper()
+	restore := SetBatching(batched)
+	defer restore()
+	shards := make([][]byte, c.N())
+	for i := range data {
+		shards[i] = append([]byte(nil), data[i]...)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// TestBatchedEncodeDecodeRepairIdentity checks that the batched paths are
+// byte-identical to the per-plane baseline for encode, every decode
+// pattern up to m erasures, and every single repair, across shapes and
+// sub-chunk sizes covering the gather, strided, and per-run kernel routes.
+func TestBatchedEncodeDecodeRepairIdentity(t *testing.T) {
+	// Lift the size gates so every sub-chunk size below exercises the
+	// batched code paths, not the gated fallbacks.
+	defer SetBatchLimits(1<<30, 1<<30)()
+
+	shapes := []struct{ k, m int }{{4, 2}, {9, 3}, {6, 2}, {2, 2}}
+	for _, sh := range shapes {
+		c, err := New(sh.k, sh.m, sh.k+sh.m-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scs := range []int{1, 3, 8, 32, 51, 200} {
+			data := make([][]byte, c.K())
+			rng := rand.New(rand.NewSource(int64(sh.k*1000 + scs)))
+			for i := range data {
+				data[i] = make([]byte, c.SubChunks()*scs)
+				rng.Read(data[i])
+			}
+			batched := encodeWith(t, c, data, true)
+			baseline := encodeWith(t, c, data, false)
+			for i := range batched {
+				if !bytes.Equal(batched[i], baseline[i]) {
+					t.Fatalf("k=%d m=%d scs=%d: encode shard %d diverges from per-plane path",
+						sh.k, sh.m, scs, i)
+				}
+			}
+
+			// Every single- and double-erasure decode.
+			for a := 0; a < c.N(); a++ {
+				for b := a; b < c.N(); b++ {
+					for _, batch := range []bool{true, false} {
+						restore := SetBatching(batch)
+						work := cloneShards(baseline)
+						work[a], work[b] = nil, nil
+						err := c.Decode(work)
+						restore()
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range work {
+							if !bytes.Equal(work[i], baseline[i]) {
+								t.Fatalf("k=%d m=%d scs=%d erase(%d,%d) batch=%v: decode shard %d wrong",
+									sh.k, sh.m, scs, a, b, batch, i)
+							}
+						}
+					}
+				}
+			}
+
+			// Every single repair.
+			for f := 0; f < c.N(); f++ {
+				for _, batch := range []bool{true, false} {
+					restore := SetBatching(batch)
+					work := make([][]byte, len(baseline))
+					copy(work, baseline)
+					work[f] = nil
+					err := c.Repair(work, []int{f})
+					restore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(work[f], baseline[f]) {
+						t.Fatalf("k=%d m=%d scs=%d batch=%v: repair of shard %d wrong",
+							sh.k, sh.m, scs, batch, f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchingToggle checks the gate plumbing.
+func TestBatchingToggle(t *testing.T) {
+	if !Batching() {
+		t.Skip("ECFAULT_NOBATCH set in environment")
+	}
+	restore := SetBatching(false)
+	if Batching() {
+		t.Fatal("SetBatching(false) did not disable batching")
+	}
+	restore()
+	if !Batching() {
+		t.Fatal("restore did not re-enable batching")
+	}
+}

@@ -16,7 +16,10 @@
 package codecache
 
 import (
+	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/erasure"
@@ -24,9 +27,47 @@ import (
 
 // Spec identifies one code configuration. D is the plugin-specific extra
 // parameter (Clay's repair degree, LRC's locality, SHEC's durability).
+// Params carries any construction parameters beyond that tuple in the
+// canonical encoding produced by EncodeParams; it is part of the registry
+// key so configurations differing only in such parameters can never alias
+// to one shared instance. No current plugin accepts extra parameters, so
+// Get rejects non-empty Params with a clear error instead of silently
+// dropping them (see GetSpec).
 type Spec struct {
 	Plugin  string
 	K, M, D int
+	Params  string
+}
+
+// EncodeParams canonicalizes construction parameters beyond
+// (plugin, k, m, d) into the comparable Spec.Params form: keys sorted,
+// "key=value" pairs joined with commas. Keys and values must not contain
+// '=' or ',' and keys must be non-empty, so the encoding stays injective.
+func EncodeParams(params map[string]string) (string, error) {
+	if len(params) == 0 {
+		return "", nil
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		if k == "" || strings.ContainsAny(k, "=,") {
+			return "", fmt.Errorf("codecache: invalid parameter key %q (must be non-empty, without '=' or ',')", k)
+		}
+		if v := params[k]; strings.ContainsAny(v, "=,") {
+			return "", fmt.Errorf("codecache: invalid value %q for parameter %q (must not contain '=' or ',')", v, k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(params[k])
+	}
+	return b.String(), nil
 }
 
 // Normalize resolves the plugins' d-defaults so that callers passing 0
@@ -71,10 +112,25 @@ func Enabled() bool { return os.Getenv("ECFAULT_NOCODECACHE") == "" }
 // are fixed at init/config time, so a failing spec keeps failing. With
 // sharing disabled it returns a fresh private instance per call.
 func Get(plugin string, k, m, d int) (erasure.Code, error) {
-	if !Enabled() {
-		return erasure.New(plugin, k, m, d)
+	return GetSpec(Spec{Plugin: plugin, K: k, M: m, D: d})
+}
+
+// GetSpec is Get for callers holding a full Spec, including construction
+// parameters outside the (plugin, k, m, d) tuple. Such parameters are
+// part of the registry key, so they can never alias distinct
+// configurations onto one instance — but no registered plugin consumes
+// them yet, so rather than construct a code that silently ignores them,
+// GetSpec rejects non-empty Params before touching the registry.
+func GetSpec(s Spec) (erasure.Code, error) {
+	if s.Params != "" {
+		return nil, fmt.Errorf(
+			"codecache: spec %s(k=%d,m=%d,d=%d) carries construction parameters %q outside the (plugin, k, m, d) tuple; no registered plugin accepts them — construct the code directly instead of through the registry",
+			s.Plugin, s.K, s.M, s.D, s.Params)
 	}
-	spec := Normalize(Spec{Plugin: plugin, K: k, M: m, D: d})
+	if !Enabled() {
+		return erasure.New(s.Plugin, s.K, s.M, s.D)
+	}
+	spec := Normalize(s)
 	mu.Lock()
 	e, ok := entries[spec]
 	if ok {

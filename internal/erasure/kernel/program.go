@@ -119,6 +119,34 @@ func (p *Program) run(srcs, dsts [][]byte, overwrite bool, workers int) {
 	p.runRange(srcs, dsts, 0, size, overwrite, chunkBytes)
 }
 
+// RunSegs executes the program over a batch of equal-length segments
+// instead of one contiguous stripe: for every output row i and every
+// segment index s in idx,
+//
+//	dsts[i][s*segLen : (s+1)*segLen] (^)= Σ_j rows[i][j] * srcs[j][same]
+//
+// idx must be strictly increasing. Sub-packetized codes use this to solve
+// many scattered planes in one call per output row; the gf256 segment
+// layer coalesces adjacent planes and dispatches the strided SIMD kernels,
+// so callers need no layout knowledge. Output is byte-identical to one Run
+// per segment. RunSegs stays on the calling goroutine: segment batches are
+// bounded by the sub-packetization (alpha), far below the parallel
+// threshold Run calibrates for.
+func (p *Program) RunSegs(srcs, dsts [][]byte, idx []int32, segLen int, overwrite bool) {
+	if len(dsts) != len(p.plans) {
+		panic("kernel: destination count does not match program rows")
+	}
+	if len(p.plans) == 0 {
+		return
+	}
+	if len(srcs) != p.width {
+		panic("kernel: source count does not match program width")
+	}
+	for i, plan := range p.plans {
+		plan.ApplySegs(srcs, dsts[i], idx, nil, segLen, overwrite)
+	}
+}
+
 // runRange processes dst bytes [off, end) chunk by chunk, all rows per
 // chunk.
 func (p *Program) runRange(srcs, dsts [][]byte, off, end int, overwrite bool, chunkBytes int) {

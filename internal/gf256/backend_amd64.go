@@ -174,6 +174,51 @@ func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite 
 	}
 }
 
+// gfniStridedAsm runs the GFNI row kernel over count segments of segn
+// bytes placed stride bytes apart (stride >= segn >= 32), one call for the
+// whole batch. Each source pointer advances in lockstep with dst. Segment
+// remainders below 32 bytes are finished in-asm with a masked merge, so no
+// scalar tail ever runs.
+//
+//go:noescape
+func gfniStridedAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, segn int, stride int, count int, xor int)
+
+// avx2StridedAsm is gfniStridedAsm with 64-byte split-nibble tables.
+//
+//go:noescape
+func avx2StridedAsm(tbls *byte, srcs **byte, nsrc int, dst *byte, segn int, stride int, count int, xor int)
+
+// stridedSIMD dispatches the strided assembly kernel: count segments of
+// segBytes each, stride bytes apart, destination starting at dst[base]
+// and source j at base + delta[j]*segLen. Requires segBytes >= 32 and an
+// active SIMD backend.
+func (rp *RowPlan) stridedSIMD(srcs [][]byte, dst []byte, base int, delta []int32, segLen, segBytes, stride, count int, overwrite bool, backend int32) {
+	extent := (count-1)*stride + segBytes
+	_ = dst[base+extent-1] // bounds-check the full destination span
+	var ptrBuf [32]*byte
+	ptrs := ptrBuf[:0]
+	if len(rp.nzSrc) > len(ptrBuf) {
+		ptrs = make([]*byte, 0, len(rp.nzSrc))
+	}
+	for _, j := range rp.nzSrc {
+		so := base
+		if delta != nil {
+			so += int(delta[j]) * segLen
+		}
+		_ = srcs[j][so+extent-1] // bounds-check the full source span
+		ptrs = append(ptrs, &srcs[j][so])
+	}
+	xor := 1
+	if overwrite {
+		xor = 0
+	}
+	if backend == backendGFNI {
+		gfniStridedAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &dst[base], segBytes, stride, count, xor)
+	} else {
+		avx2StridedAsm(&rp.nzTbl[0], &ptrs[0], len(ptrs), &dst[base], segBytes, stride, count, xor)
+	}
+}
+
 // simdMulAddSlice is the single-coefficient entry used by MulAddSlice and
 // MulSlice for c outside {0, 1}: one source, the shared per-coefficient
 // constants. Returns false when the active backend has no SIMD.

@@ -18,5 +18,11 @@ func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite 
 	panic("gf256: SIMD backend selected without assembly support")
 }
 
+// stridedSIMD is unreachable for the same reason: ApplySegs and
+// MulAddStrided only route here when the active backend is SIMD.
+func (rp *RowPlan) stridedSIMD(srcs [][]byte, dst []byte, base int, delta []int32, segLen, segBytes, stride, count int, overwrite bool, backend int32) {
+	panic("gf256: SIMD backend selected without assembly support")
+}
+
 // simdMulAddSlice reports that no SIMD single-coefficient kernel exists.
 func simdMulAddSlice(c byte, src, dst []byte, overwrite bool) bool { return false }

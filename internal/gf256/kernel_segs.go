@@ -1,0 +1,247 @@
+package gf256
+
+import "sync"
+
+// Segment-batched row kernels.
+//
+// Sub-packetized codes (Clay) apply the same short coefficient row to many
+// small slices at regular offsets: one sub-chunk per plane, with the same
+// coupling coefficients in every plane. Issuing one RowPlan.Apply per
+// sub-chunk leaves each call too small to amortize the SIMD kernels — at
+// ~50 B segments the pointer setup, the overlap-tail fixup, and the call
+// itself cost more than the arithmetic. The entries here batch a whole
+// same-coefficient segment set into as few kernel invocations as possible:
+//
+//   - Adjacent segments coalesce into contiguous runs, each run handled by
+//     one ordinary Apply pass (runs of b planes pay one call, not b).
+//   - Uniformly strided runs below stridedMaxRun bytes go to a dedicated
+//     strided assembly kernel (one call walks every segment, masked-store
+//     tails included), so even stride-q plane sets stay fully vectorized.
+//   - Runs shorter than one vector are gathered into a pooled scratch
+//     arena, transformed contiguously at full SIMD width, and scattered
+//     back — converting what would be per-byte scalar tails into one
+//     vector pass at the cost of extra memmoves.
+//
+// Segment offsets are expressed in segment-index units (Clay plane
+// numbers), with an optional per-source index delta (the coupling
+// companion's plane shift). Every path computes the same elementwise
+// GF(2^8) arithmetic, so results are byte-identical to per-segment Apply
+// calls; the conformance suite enforces that across backends.
+
+// stridedMaxRun is the run size (bytes) above which per-run Apply calls
+// beat the strided kernel: long runs amortize their own call overhead and
+// the contiguous kernels use wider strips.
+const stridedMaxRun = 1024
+
+// segRun is a coalesced run of consecutive segments: segment indices
+// [start, start+n).
+type segRun struct{ start, n int32 }
+
+// segArena pools gather/scatter scratch for the sub-vector segment path.
+var segArena = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func arenaGet(n int) *[]byte {
+	bp := segArena.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// MulAddSegs is ApplySegs with accumulate semantics, the batched analogue
+// of MulAdd: for every segment index s in idx,
+//
+//	dst[s*segLen+i] ^= Σ_j coeffs[j] * srcs[j][(s+delta[j])*segLen+i]
+//
+// over i in [0, segLen). delta may be nil (all zero); sources under zero
+// coefficients may be nil and their delta is ignored.
+func (rp *RowPlan) MulAddSegs(srcs [][]byte, dst []byte, idx []int32, delta []int32, segLen int) {
+	rp.ApplySegs(srcs, dst, idx, delta, segLen, false)
+}
+
+// MulSegs is ApplySegs with overwrite semantics.
+func (rp *RowPlan) MulSegs(srcs [][]byte, dst []byte, idx []int32, delta []int32, segLen int) {
+	rp.ApplySegs(srcs, dst, idx, delta, segLen, true)
+}
+
+// ApplySegs applies the plan to a batch of equal-length segments. Segment
+// index s covers dst[s*segLen : (s+1)*segLen]; source j reads its bytes
+// from segment index s+delta[j] of srcs[j]. idx lists the destination
+// segment indices in strictly increasing order. The result is
+// byte-identical to one Apply per segment; batching only changes how the
+// work is grouped into kernel calls.
+func (rp *RowPlan) ApplySegs(srcs [][]byte, dst []byte, idx []int32, delta []int32, segLen int, overwrite bool) {
+	if len(srcs) != len(rp.coeffs) {
+		panic("gf256: RowPlan source count mismatch")
+	}
+	if delta != nil && len(delta) != len(srcs) {
+		panic("gf256: RowPlan delta count mismatch")
+	}
+	if len(idx) == 0 || segLen <= 0 {
+		return
+	}
+	if rp.maxBit < 0 { // zero row
+		if overwrite {
+			for _, s := range idx {
+				clear(dst[int(s)*segLen : (int(s)+1)*segLen])
+			}
+		}
+		return
+	}
+
+	// Coalesce consecutive segment indices into runs, tracking whether
+	// the runs form a uniform strided layout on the way.
+	var runBuf [48]segRun
+	runs := runBuf[:0]
+	uniform := true
+	for i := 0; i < len(idx); {
+		j := i + 1
+		for j < len(idx) && idx[j] == idx[j-1]+1 {
+			j++
+		}
+		runs = append(runs, segRun{start: idx[i], n: int32(j - i)})
+		if nr := len(runs); nr > 1 {
+			if runs[nr-1].n != runs[0].n {
+				uniform = false
+			} else if nr > 2 && runs[nr-1].start-runs[nr-2].start != runs[1].start-runs[0].start {
+				uniform = false
+			}
+		}
+		i = j
+	}
+
+	if len(runs) == 1 {
+		rp.applyWindow(srcs, dst, int(runs[0].start)*segLen, delta, segLen, int(runs[0].n)*segLen, overwrite)
+		return
+	}
+	if b := currentBackend(); b >= backendAVX2 {
+		rb := int(runs[0].n) * segLen
+		if uniform && rb >= 32 && rb < stridedMaxRun {
+			stride := int(runs[1].start-runs[0].start) * segLen
+			rp.stridedSIMD(srcs, dst, int(runs[0].start)*segLen, delta, segLen, rb, stride, len(runs), overwrite, b)
+			return
+		}
+		maxRun := int32(0)
+		for _, r := range runs {
+			if r.n > maxRun {
+				maxRun = r.n
+			}
+		}
+		if int(maxRun)*segLen < 32 {
+			rp.applyGather(srcs, dst, runs, delta, segLen, overwrite)
+			return
+		}
+	}
+	for _, r := range runs {
+		rp.applyWindow(srcs, dst, int(r.start)*segLen, delta, segLen, int(r.n)*segLen, overwrite)
+	}
+}
+
+// MulAddStrided accumulates the row across count segments of segLen bytes
+// placed stride bytes apart: for s in [0, count),
+//
+//	dst[base+s*stride+i] ^= Σ_j coeffs[j] * srcs[j][base+s*stride+i]
+//
+// with base, stride and segLen in bytes and stride >= segLen. It is the
+// uniform-layout entry for callers that know their segment geometry
+// directly instead of holding an index list.
+func (rp *RowPlan) MulAddStrided(srcs [][]byte, dst []byte, base, segLen, stride, count int) {
+	if len(srcs) != len(rp.coeffs) {
+		panic("gf256: RowPlan source count mismatch")
+	}
+	if segLen <= 0 || count <= 0 || rp.maxBit < 0 {
+		return
+	}
+	if stride < segLen {
+		panic("gf256: strided segments overlap")
+	}
+	if stride == segLen { // contiguous
+		rp.applyWindow(srcs, dst, base, nil, segLen, segLen*count, false)
+		return
+	}
+	if b := currentBackend(); b >= backendAVX2 && count > 1 && segLen >= 32 && segLen < stridedMaxRun {
+		rp.stridedSIMD(srcs, dst, base, nil, segLen, segLen, stride, count, false, b)
+		return
+	}
+	for s := 0; s < count; s++ {
+		rp.applyWindow(srcs, dst, base+s*stride, nil, segLen, segLen, false)
+	}
+}
+
+// applyWindow runs Apply over one contiguous run of n bytes: the
+// destination window starts at byte offset off, and source j's window at
+// off + delta[j]*segLen. Building explicit window slices (rather than
+// passing off/end through Apply) is what lets sources sit at shifted,
+// possibly negative, segment deltas.
+func (rp *RowPlan) applyWindow(srcs [][]byte, dst []byte, off int, delta []int32, segLen, n int, overwrite bool) {
+	var winBuf [16][]byte
+	var wins [][]byte
+	if len(srcs) <= len(winBuf) {
+		wins = winBuf[:len(srcs)]
+	} else {
+		wins = make([][]byte, len(srcs))
+	}
+	for _, j := range rp.nzSrc {
+		so := off
+		if delta != nil {
+			so += int(delta[j]) * segLen
+		}
+		wins[j] = srcs[j][so : so+n : so+n]
+	}
+	rp.Apply(wins, dst[off:off+n:off+n], 0, n, overwrite)
+}
+
+// applyGather handles batches whose runs are all shorter than one vector:
+// gather every non-zero source's segments into a contiguous arena, run the
+// row once at full width, scatter the result back to the destination
+// segments.
+func (rp *RowPlan) applyGather(srcs [][]byte, dst []byte, runs []segRun, delta []int32, segLen int, overwrite bool) {
+	total := 0
+	for _, r := range runs {
+		total += int(r.n) * segLen
+	}
+	nnz := len(rp.nzSrc)
+	bp := arenaGet((nnz + 1) * total)
+	defer segArena.Put(bp)
+	scratch := *bp
+
+	var gatherBuf [16][]byte
+	var gsrcs [][]byte
+	if len(srcs) <= len(gatherBuf) {
+		gsrcs = gatherBuf[:len(srcs)]
+	} else {
+		gsrcs = make([][]byte, len(srcs))
+	}
+	for i := range gsrcs {
+		gsrcs[i] = nil
+	}
+	for i, j := range rp.nzSrc {
+		buf := scratch[i*total : (i+1)*total]
+		d := 0
+		if delta != nil {
+			d = int(delta[j]) * segLen
+		}
+		cur := 0
+		for _, r := range runs {
+			rb := int(r.n) * segLen
+			so := int(r.start)*segLen + d
+			copy(buf[cur:cur+rb], srcs[j][so:so+rb])
+			cur += rb
+		}
+		gsrcs[j] = buf
+	}
+	res := scratch[nnz*total : (nnz+1)*total]
+	rp.Apply(gsrcs, res, 0, total, true)
+	cur := 0
+	for _, r := range runs {
+		rb := int(r.n) * segLen
+		off := int(r.start) * segLen
+		if overwrite {
+			copy(dst[off:off+rb], res[cur:cur+rb])
+		} else {
+			XorSlice(res[cur:cur+rb], dst[off:off+rb])
+		}
+		cur += rb
+	}
+}

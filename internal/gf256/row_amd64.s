@@ -20,6 +20,20 @@
 //	R12 strip offset, CX source index, SI current source pointer
 //	Y0/Y1 accumulators
 
+// tailMask provides 32-byte masks for the strided kernels' in-segment
+// tails: loading 32 bytes at offset rem (0 < rem < 32) yields a mask whose
+// final rem bytes are 0xFF and the rest 0x00 — exactly the new bytes of an
+// overlapping final window ending at the segment boundary.
+DATA tailMask<>+0(SB)/8, $0x0000000000000000
+DATA tailMask<>+8(SB)/8, $0x0000000000000000
+DATA tailMask<>+16(SB)/8, $0x0000000000000000
+DATA tailMask<>+24(SB)/8, $0x0000000000000000
+DATA tailMask<>+32(SB)/8, $0xffffffffffffffff
+DATA tailMask<>+40(SB)/8, $0xffffffffffffffff
+DATA tailMask<>+48(SB)/8, $0xffffffffffffffff
+DATA tailMask<>+56(SB)/8, $0xffffffffffffffff
+GLOBL tailMask<>(SB), RODATA|NOPTR, $64
+
 DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
 DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
 DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
@@ -191,5 +205,209 @@ avx2Store32:
 	VMOVDQU Y0, (DI)(R12*1)
 
 avx2Done:
+	VZEROUPPER
+	RET
+
+// Strided variants: the same row sum applied to count segments of segn
+// bytes (segn >= 32) placed stride bytes apart, one call for the whole
+// batch. Every source pointer tracks the destination offset, so segment s
+// spans byte offsets [s*stride, s*stride+segn) of every operand. Segment
+// remainders under 32 bytes are finished in-asm: the row sum is recomputed
+// over the overlapping final 32-byte window of the segment and merged
+// under a byte mask from tailMask, so only the rem new bytes change and
+// xor mode never double-accumulates the overlap.
+//
+// Additional registers on top of the contiguous kernels' plan:
+//	R11 segment bytes, R15 remaining segments, R13 stride
+//	R12 current segment base offset, DX segment end offset
+//	Y9 tail byte mask
+
+// func gfniStridedAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, segn int, stride int, count int, xor int)
+TEXT ·gfniStridedAsm(SB), NOSPLIT, $0-64
+	MOVQ mats+0(FP), R8
+	MOVQ srcs+8(FP), R9
+	MOVQ nsrc+16(FP), R10
+	MOVQ dst+24(FP), DI
+	MOVQ segn+32(FP), R11
+	MOVQ stride+40(FP), R13
+	MOVQ count+48(FP), R15
+	MOVQ xor+56(FP), R14
+	XORQ R12, R12
+
+gfniSSeg:
+	TESTQ R15, R15
+	JZ    gfniSDone
+	LEAQ (R12)(R11*1), DX // segment end offset
+	MOVQ R12, BX          // strip cursor
+
+gfniSStrip:
+	LEAQ 32(BX), AX
+	CMPQ AX, DX
+	JGT  gfniSTail
+	VPXOR Y0, Y0, Y0
+	XORQ CX, CX
+
+gfniSSrc:
+	VBROADCASTSD (R8)(CX*8), Y2
+	MOVQ (R9)(CX*8), SI
+	VMOVDQU (SI)(BX*1), Y3
+	VGF2P8AFFINEQB $0, Y2, Y3, Y3
+	VPXOR Y3, Y0, Y0
+	INCQ CX
+	CMPQ CX, R10
+	JLT  gfniSSrc
+
+	TESTQ R14, R14
+	JZ    gfniSStore
+	VPXOR (DI)(BX*1), Y0, Y0
+
+gfniSStore:
+	VMOVDQU Y0, (DI)(BX*1)
+	ADDQ $32, BX
+	JMP  gfniSStrip
+
+gfniSTail:
+	CMPQ BX, DX
+	JGE  gfniSNext
+	MOVQ DX, AX
+	SUBQ BX, AX             // rem = end - cursor, 0 < rem < 32
+	LEAQ tailMask<>(SB), CX
+	VMOVDQU (CX)(AX*1), Y9  // 0x00^(32-rem) ++ 0xff^rem
+	LEAQ -32(DX), BX        // overlapping final window
+	VPXOR Y0, Y0, Y0
+	XORQ CX, CX
+
+gfniSTSrc:
+	VBROADCASTSD (R8)(CX*8), Y2
+	MOVQ (R9)(CX*8), SI
+	VMOVDQU (SI)(BX*1), Y3
+	VGF2P8AFFINEQB $0, Y2, Y3, Y3
+	VPXOR Y3, Y0, Y0
+	INCQ CX
+	CMPQ CX, R10
+	JLT  gfniSTSrc
+
+	VMOVDQU (DI)(BX*1), Y3 // prior destination bytes
+	TESTQ R14, R14
+	JZ    gfniSTMask
+	VPXOR Y3, Y0, Y0
+
+gfniSTMask:
+	VPAND  Y9, Y0, Y0 // new bytes of the result
+	VPANDN Y3, Y9, Y3 // prior bytes outside the tail
+	VPOR   Y3, Y0, Y0
+	VMOVDQU Y0, (DI)(BX*1)
+
+gfniSNext:
+	ADDQ R13, R12
+	DECQ R15
+	JMP  gfniSSeg
+
+gfniSDone:
+	VZEROUPPER
+	RET
+
+// func avx2StridedAsm(tbls *byte, srcs **byte, nsrc int, dst *byte, segn int, stride int, count int, xor int)
+//
+// AX doubles as the strip cursor (BX cursors the nibble tables inside the
+// source loops, as in avx2RowAsm).
+TEXT ·avx2StridedAsm(SB), NOSPLIT, $0-64
+	MOVQ tbls+0(FP), R8
+	MOVQ srcs+8(FP), R9
+	MOVQ nsrc+16(FP), R10
+	MOVQ dst+24(FP), DI
+	MOVQ segn+32(FP), R11
+	MOVQ stride+40(FP), R13
+	MOVQ count+48(FP), R15
+	MOVQ xor+56(FP), R14
+	VMOVDQU nibMask<>(SB), Y8
+	XORQ R12, R12
+
+avx2SSeg:
+	TESTQ R15, R15
+	JZ    avx2SDone
+	LEAQ (R12)(R11*1), DX // segment end offset
+	MOVQ R12, AX          // strip cursor
+
+avx2SStrip:
+	LEAQ 32(AX), BX
+	CMPQ BX, DX
+	JGT  avx2STail
+	VPXOR Y0, Y0, Y0
+	XORQ CX, CX
+	MOVQ R8, BX
+
+avx2SSrc:
+	VMOVDQU (BX), Y5
+	VMOVDQU 32(BX), Y6
+	MOVQ (R9)(CX*8), SI
+	VMOVDQU (SI)(AX*1), Y2
+	VPSRLW $4, Y2, Y4
+	VPAND  Y8, Y2, Y2
+	VPAND  Y8, Y4, Y4
+	VPSHUFB Y2, Y5, Y2
+	VPSHUFB Y4, Y6, Y4
+	VPXOR Y4, Y2, Y2
+	VPXOR Y2, Y0, Y0
+	ADDQ $64, BX
+	INCQ CX
+	CMPQ CX, R10
+	JLT  avx2SSrc
+
+	TESTQ R14, R14
+	JZ    avx2SStore
+	VPXOR (DI)(AX*1), Y0, Y0
+
+avx2SStore:
+	VMOVDQU Y0, (DI)(AX*1)
+	ADDQ $32, AX
+	JMP  avx2SStrip
+
+avx2STail:
+	CMPQ AX, DX
+	JGE  avx2SNext
+	MOVQ DX, BX
+	SUBQ AX, BX             // rem = end - cursor, 0 < rem < 32
+	LEAQ tailMask<>(SB), CX
+	VMOVDQU (CX)(BX*1), Y9  // 0x00^(32-rem) ++ 0xff^rem
+	LEAQ -32(DX), AX        // overlapping final window
+	VPXOR Y0, Y0, Y0
+	XORQ CX, CX
+	MOVQ R8, BX
+
+avx2STSrc:
+	VMOVDQU (BX), Y5
+	VMOVDQU 32(BX), Y6
+	MOVQ (R9)(CX*8), SI
+	VMOVDQU (SI)(AX*1), Y2
+	VPSRLW $4, Y2, Y4
+	VPAND  Y8, Y2, Y2
+	VPAND  Y8, Y4, Y4
+	VPSHUFB Y2, Y5, Y2
+	VPSHUFB Y4, Y6, Y4
+	VPXOR Y4, Y2, Y2
+	VPXOR Y2, Y0, Y0
+	ADDQ $64, BX
+	INCQ CX
+	CMPQ CX, R10
+	JLT  avx2STSrc
+
+	VMOVDQU (DI)(AX*1), Y3 // prior destination bytes
+	TESTQ R14, R14
+	JZ    avx2STMask
+	VPXOR Y3, Y0, Y0
+
+avx2STMask:
+	VPAND  Y9, Y0, Y0 // new bytes of the result
+	VPANDN Y3, Y9, Y3 // prior bytes outside the tail
+	VPOR   Y3, Y0, Y0
+	VMOVDQU Y0, (DI)(AX*1)
+
+avx2SNext:
+	ADDQ R13, R12
+	DECQ R15
+	JMP  avx2SSeg
+
+avx2SDone:
 	VZEROUPPER
 	RET

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Batched-vs-per-plane A/B for the Clay multi-plane transforms
+# (BenchmarkClayBatchAB in internal/erasure/conformance).
+#
+# Usage:
+#   scripts/bench_codec.sh [-n benchtime]
+#
+# For each of the headline shapes (clay(9,3,11) encode and single repair
+# at 4 KiB and 64 KiB shards) the same benchmark runs with the batched
+# paths on ("batched") and forced off via ECFAULT_NOBATCH ("perplane"),
+# and the ratio is printed as "speedup <op>/<size>: N.NNx". CI's
+# bench-codec job parses those lines and enforces a floor on the 4 KiB
+# encode ratio — the configuration regime the batching exists for. Large
+# sizes sit near 1.0x by design: the per-plane path already amortizes
+# kernel calls there and the size gates route to it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME=200x
+while getopts "n:" opt; do
+  case "$opt" in
+    n) BENCHTIME="$OPTARG" ;;
+    *) exit 2 ;;
+  esac
+done
+
+# One pass collects every sub-benchmark: "<op>/<size>/<mode> <ns>" lines.
+run() {
+  go test ./internal/erasure/conformance -run xxx \
+    -bench 'BenchmarkClayBatchAB' -benchtime "$BENCHTIME" -count=1 2>/dev/null |
+    awk '/^BenchmarkClayBatchAB\// {
+      split($1, parts, "/")
+      print parts[2] "/" parts[3], parts[4], $3
+    }' | sed 's#-[0-9]* # #'
+}
+
+OUT=$(run)
+echo "$OUT" | awk '{ printf "%-14s %-9s %12s ns/op\n", $1, $2, $3 }'
+
+echo "$OUT" | awk '
+  $2 == "batched"  { after[$1] = $3 }
+  $2 == "perplane" { before[$1] = $3 }
+  END {
+    for (k in before)
+      printf "speedup %s: %.2fx\n", k, before[k] / after[k]
+  }' | sort
