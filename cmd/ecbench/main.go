@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/gf256"
 	"repro/internal/parallel"
 	"repro/internal/profutil"
 	"repro/internal/report"
@@ -35,7 +36,14 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit all results as JSON instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	backends := flag.Bool("backends", false, "print the active GF(2^8) backend, the dispatch chain, and CPU features, then exit")
 	flag.Parse()
+	if *backends {
+		fmt.Printf("backend: %s\n", gf256.Backend())
+		fmt.Printf("available: %s\n", strings.Join(gf256.Backends(), " "))
+		fmt.Printf("cpu_features: %s\n", strings.Join(gf256.CPUFeatures(), " "))
+		return
+	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}

@@ -353,7 +353,7 @@ func (c *Clay) Decode(shards [][]byte) error {
 
 	srcs := make([][]byte, len(dec.survivors))
 	dsts := make([][]byte, len(dec.lost))
-	if Batching() && scs < batchMaxSubChunk {
+	if Batching() && scs < batchDecodeLimit() {
 		for s := 0; s <= c.t; s++ {
 			if len(byScore[s]) == 0 {
 				continue
@@ -475,19 +475,25 @@ func (dec *planeSolver) solve(srcs, dsts [][]byte, sel func(u int) []byte) {
 	if len(dsts[0]) < smallSubChunk {
 		// Direct row path: one fused row kernel per lost symbol, no
 		// program chunking or worker dispatch.
-		dec.planOnce.Do(func() {
-			dec.plans = make([]*gf256.RowPlan, len(dec.rows))
-			for i, row := range dec.rows {
-				dec.plans[i] = gf256.CompileRow(row)
-			}
-		})
-		for li, plan := range dec.plans {
+		for li, plan := range dec.rowPlans() {
 			plan.Mul(srcs, dsts[li])
 		}
 		return
 	}
 	dec.progOnce.Do(func() { dec.prog = kernel.Compile(dec.rows) })
 	dec.prog.Run(srcs, dsts, true)
+}
+
+// rowPlans returns the compiled per-lost-symbol row kernels, building them
+// on first use.
+func (dec *planeSolver) rowPlans() []*gf256.RowPlan {
+	dec.planOnce.Do(func() {
+		dec.plans = make([]*gf256.RowPlan, len(dec.rows))
+		for i, row := range dec.rows {
+			dec.plans[i] = gf256.CompileRow(row)
+		}
+	})
+	return dec.plans
 }
 
 // decodePlane computes U for every node in plane z. Survivor U values come
@@ -660,8 +666,8 @@ func (c *Clay) repairSingle(shards [][]byte, failedExt int) error {
 		return nil
 	}
 	out := make([]byte, size)
-	if Batching() && scs < batchRepairMaxSubChunk {
-		return c.repairBatched(shards, failedExt, scs, out)
+	if Batching() && scs < batchRepairLimit() {
+		return c.repairStrided(shards, failedExt, scs, out)
 	}
 	u0 := c.internalIndex(failedExt)
 	x0, y0 := c.nodeXY(u0)

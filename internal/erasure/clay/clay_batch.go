@@ -2,9 +2,11 @@ package clay
 
 import (
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/erasure/kernel"
+	"repro/internal/gf256"
 )
 
 // Multi-plane batched transforms.
@@ -20,10 +22,12 @@ import (
 //     batch per (node, companion-column) pair plus one batched MDS solve;
 //     for encode (every parity erased) the single group covers all alpha
 //     planes, so the solve collapses to full-buffer Program.Run calls.
-//   - Single repair compacts the beta repair-plane sub-chunks of every
-//     helper into contiguous scratch, which turns the MDS solve and the
-//     companion-plane recovery into full-width contiguous kernel runs and
-//     leaves only the pairwise step strided (in the compact space).
+//   - Single repair solves directly over the shard layout: the pairwise
+//     transforms, the failed node's row of the MDS solve, and the
+//     companion-plane recovery address every helper's beta repair-plane
+//     sub-chunks in place through gf256.ApplyStrided's per-operand
+//     base/stride geometry, so no coupled symbol is ever gathered or
+//     scattered; only the uncoupled scratch is compact.
 //
 // Both paths compute the exact same GF(2^8) operations on the same bytes
 // as the per-plane code, so outputs are byte-identical; the conformance
@@ -37,15 +41,38 @@ var batchOff atomic.Bool
 
 // Batching pays off while per-call kernel dispatch dominates the
 // arithmetic; once sub-chunks grow large every per-plane call already
-// streams enough bytes to amortize itself, and the batched repair's
-// compact-space gather/scatter degrades into pure memcpy overhead on top.
-// Measured crossovers on the reference host (GFNI): decode/encode reach
-// parity near scs≈1600, repair near scs≈128. Vars, not consts, so the
-// identity tests can push large sub-chunks through the batched paths.
+// streams enough bytes to amortize itself. Decode reaches parity near
+// scs≈1600 on the ymm tiers and rides the wider zmm strided kernels to
+// 4 KiB; zero-copy repair (no gather/scatter to degrade into memcpy)
+// wins through 1 KiB sub-chunks on every measured tier, with the
+// per-plane path pulling ahead from 2 KiB (BenchmarkKernelClayRepairSweep
+// tracks the crossover). The gates are vars overridable by
+// SetBatchLimits (identity tests push arbitrarily large sub-chunks
+// through the batched paths); 0 means "derive the measured default".
 var (
-	batchMaxSubChunk       = 2048
-	batchRepairMaxSubChunk = 128
+	batchMaxSubChunk       = 0
+	batchRepairMaxSubChunk = 0
 )
+
+// batchDecodeLimit returns the sub-chunk size gate for batched decode.
+func batchDecodeLimit() int {
+	if batchMaxSubChunk != 0 {
+		return batchMaxSubChunk
+	}
+	if gf256.StridedRunCap() >= 4096 {
+		return 4096
+	}
+	return 2048
+}
+
+// batchRepairLimit returns the sub-chunk size gate for zero-copy batched
+// repair.
+func batchRepairLimit() int {
+	if batchRepairMaxSubChunk != 0 {
+		return batchRepairMaxSubChunk
+	}
+	return 2048
+}
 
 func init() {
 	if os.Getenv("ECFAULT_NOBATCH") != "" {
@@ -68,14 +95,22 @@ func SetBatching(on bool) (restore func()) {
 
 // SetBatchLimits overrides the sub-chunk size gates above which the
 // batched paths yield to the per-plane code, returning a restore
-// function. Identity tests use it to push arbitrarily large sub-chunks
-// through the batched implementations; it is not safe concurrently with
-// Decode/Repair calls.
+// function; 0 restores the backend-derived defaults. Identity tests use
+// it to push arbitrarily large sub-chunks through the batched
+// implementations; it is not safe concurrently with Decode/Repair calls.
 func SetBatchLimits(decodeMax, repairMax int) (restore func()) {
 	prevD, prevR := batchMaxSubChunk, batchRepairMaxSubChunk
 	batchMaxSubChunk, batchRepairMaxSubChunk = decodeMax, repairMax
 	return func() { batchMaxSubChunk, batchRepairMaxSubChunk = prevD, prevR }
 }
+
+// repairScratch pools the compact-space slab for repairStrided. Pooling
+// (rather than a per-call make) matters because the slab is written and
+// discarded every repair: at mid-size sub-chunks the allocator's zeroing
+// plus GC scan cost rivals the GF arithmetic itself. The pool is
+// package-level, never hung off a code instance, so repairs racing on a
+// shared registry instance each grab independent slabs.
+var repairScratch = sync.Pool{New: func() any { b := []byte(nil); return &b }}
 
 // copySegs copies the listed scs-byte segments from src to dst, coalescing
 // adjacent segment indices into single copies.
@@ -212,26 +247,33 @@ func (c *Clay) convertUCBatched(erased []bool, C, U [][]byte, scs int) {
 	}
 }
 
-// repairBatched is the batched single-failure repair. All coupled-symbol
-// reads during single repair hit only the beta repair-plane sub-chunks, so
-// every helper's repair planes are gathered into a compact contiguous
-// buffer first (position = rank of the plane among the repair planes).
-// Companion planes map to constant rank shifts in the compact space, the
-// MDS solve and the companion-plane recovery become full-width contiguous
-// kernel runs, and only the pairwise transforms remain strided. Scratch is
-// a single slab owned by this call — nothing is shared with the code
-// registry, so concurrent repairs on a shared instance stay independent.
-func (c *Clay) repairBatched(shards [][]byte, failedExt int, scs int, out []byte) error {
+// repairStrided is the zero-copy batched single-failure repair: it solves
+// directly over the shard layout. All coupled-symbol reads during single
+// repair hit only the beta repair-plane sub-chunks — planes z with
+// digit(z, y0) == x0, which form nRuns = pow[y0] runs of runLen =
+// pow[t-1-y0] consecutive planes spaced runStride = pow[t-y0] apart. The
+// pairwise transforms, the failed node's row of the MDS solve, and the
+// companion-plane recovery address those sub-chunks in place through
+// gf256.ApplyStrided's per-operand base/stride geometry (shard space:
+// stride runStride*scs per run; compact scratch: stride runLen*scs), so
+// helper bytes are never gathered through an arena and recovered bytes
+// are written straight into the output shard. Only the uncoupled symbols
+// live in compact rank-ordered scratch — rank p = a*runLen + i maps to
+// plane z = a*runStride + first + i. Scratch is a pooled slab held
+// exclusively for the duration of the call — nothing hangs off the code
+// instance, so concurrent repairs on a shared registry instance stay
+// independent.
+func (c *Clay) repairStrided(shards [][]byte, failedExt int, scs int, out []byte) error {
 	u0 := c.internalIndex(failedExt)
 	x0, y0 := c.nodeXY(u0)
 	bb := c.beta * scs
 
-	// The repair planes (digit y0 == x0) form pow[y0] runs of
-	// pow[t-1-y0] consecutive planes, runStride apart.
 	runLen := c.pow[c.t-1-y0]
 	runStride := c.pow[c.t-y0]
 	nRuns := c.pow[y0]
 	first := x0 * runLen
+	rl := runLen * scs    // run bytes, compact space (runs are contiguous)
+	rs := runStride * scs // run stride, shard space
 
 	erased := make([]bool, c.nt)
 	for x := 0; x < c.q; x++ {
@@ -242,135 +284,187 @@ func (c *Clay) repairBatched(shards [][]byte, failedExt int, scs int, out []byte
 		return err
 	}
 
-	// One slab: compact C for every real helper, compact U for every node,
-	// plus the two step-4 scratch buffers.
-	nReal := 0
-	for u := 0; u < c.nt; u++ {
-		if ext := c.externalIndex(u); ext != -1 && ext != failedExt {
-			nReal++
-		}
+	// One pooled slab: compact U per node, the step-3 scratch, and one
+	// run-width zero window standing in for virtual shards (read with
+	// stride 0). Every uComp byte is overwritten before it is read, so
+	// only the zero window needs clearing on reuse.
+	need := (c.nt+1)*bb + rl
+	sp := repairScratch.Get().(*[]byte)
+	if cap(*sp) < need {
+		*sp = make([]byte, need)
 	}
-	slab := make([]byte, (nReal+c.nt+2)*bb)
-	off := 0
-	take := func() []byte { b := slab[off : off+bb]; off += bb; return b }
-	zero := make([]byte, bb)
-
-	Ccomp := make([][]byte, c.nt)
+	slab := (*sp)[:need]
+	defer repairScratch.Put(sp)
+	clear(slab[(c.nt+1)*bb:])
 	uComp := make([][]byte, c.nt)
-	for u := 0; u < c.nt; u++ {
+	for u := range uComp {
+		uComp[u] = slab[u*bb : (u+1)*bb]
+	}
+	u2 := slab[c.nt*bb : (c.nt+1)*bb]
+	zeroRun := slab[(c.nt+1)*bb:]
+
+	// cBuf returns the buffer holding node u's coupled symbols: the shard
+	// itself for real helpers (addressed strided), the shared zero window
+	// for virtual nodes (stride 0). The failed node's C is never read.
+	cBuf := func(u int) (buf []byte, real bool) {
 		ext := c.externalIndex(u)
-		switch {
-		case ext == -1:
-			Ccomp[u] = zero
-		case ext == failedExt:
-			// The failed node's C is never read.
-		default:
-			b := take()
-			p := 0
-			for a := 0; a < nRuns; a++ {
-				z := a*runStride + first
-				n := runLen * scs
-				copy(b[p*scs:p*scs+n], shards[ext][z*scs:z*scs+n])
-				p += runLen
-			}
-			Ccomp[u] = b
+		if ext == -1 {
+			return zeroRun, false
 		}
-		uComp[u] = take()
-	}
-	u2, cout := take(), take()
-
-	// Compact-space digit geometry: rank p = Σ_{y != y0} digit(z,y)*red[y],
-	// so companion plane zc = setDigit(z,y,x) sits at rank shift
-	// (x - digit)*red[y], and the planes with digit(z,y) == x' form uniform
-	// red[y]-long runs q*red[y] apart.
-	red := make([]int, c.t)
-	r := 1
-	for y := c.t - 1; y >= 0; y-- {
-		if y == y0 {
-			continue
+		if ext == failedExt {
+			panic("clay: repair read from failed shard")
 		}
-		red[y] = r
-		r *= c.q
-	}
-	idxRed := make([][]int32, c.t*c.q)
-	islab := make([]int32, 0, (c.t-1)*c.beta)
-	for y := 0; y < c.t; y++ {
-		if y == y0 {
-			continue
-		}
-		rl := red[y]
-		for xp := 0; xp < c.q; xp++ {
-			start := len(islab)
-			for base := xp * rl; base < c.beta; base += c.q * rl {
-				for i := 0; i < rl; i++ {
-					islab = append(islab, int32(base+i))
-				}
-			}
-			idxRed[y*c.q+xp] = islab[start:len(islab):len(islab)]
-		}
+		return shards[ext], true
 	}
 
-	var pairBuf [2][]byte
-	var deltaBuf [2]int32
-	pair, delta := pairBuf[:], deltaBuf[:]
+	pair := make([][]byte, 2)
+	pb := make([]int, 2) // per-source base offsets
+	ps := make([]int, 2) // per-source strides
 
-	// Step 1: U for all nodes outside column y0, batched per
-	// (node, companion-column) pair across every repair plane.
+	// Step 1: U for all nodes outside column y0, one strided batch per
+	// (node, companion-column, run-group), reading C from the shards in
+	// place. The repair-plane selection with digit(z, y) == xp splits on
+	// whether digit y is encoded above or below digit y0 in the plane
+	// number.
 	for u := 0; u < c.nt; u++ {
 		x, y := c.nodeXY(u)
 		if y == y0 {
 			continue
 		}
-		for xp := 0; xp < c.q; xp++ {
-			idx := idxRed[y*c.q+xp]
-			if xp == x {
-				copySegs(uComp[u], Ccomp[u], idx, scs)
-				continue
+		cu, realU := cBuf(u)
+		if y < y0 {
+			// Digit y lives in the run index a = (z - first - i)/runStride:
+			// selected a's form runs of aRL consecutive values, q*aRL
+			// apart; each a-run is one ApplyStrided call whose segments are
+			// whole plane runs (contiguous in compact space, runStride
+			// apart in shard space). The companion plane shift
+			// (x-xp)*pow[t-1-y] is (x-xp)*aRL runs.
+			aRL := c.pow[y0-1-y]
+			nA := c.pow[y]
+			for xp := 0; xp < c.q; xp++ {
+				var cp []byte
+				var realC bool
+				comp := xp + y*c.q
+				if xp != x {
+					cp, realC = cBuf(comp)
+				}
+				for j := 0; j < nA; j++ {
+					a := xp*aRL + j*c.q*aRL
+					if xp == x {
+						// Unpaired vertices: U = C (zero for virtual nodes).
+						if !realU {
+							clear(uComp[u][a*rl : (a+aRL)*rl])
+							continue
+						}
+						for i := 0; i < aRL; i++ {
+							zo := (a+i)*rs + first*scs
+							copy(uComp[u][(a+i)*rl:(a+i+1)*rl], cu[zo:zo+rl])
+						}
+						continue
+					}
+					pair[0], pair[1] = cu, cp
+					pb[0], ps[0] = 0, 0
+					if realU {
+						pb[0], ps[0] = a*rs+first*scs, rs
+					}
+					pb[1], ps[1] = 0, 0
+					if realC {
+						pb[1], ps[1] = (a+(x-xp)*aRL)*rs+first*scs, rs
+					}
+					c.pairRow.ApplyStrided(pair, uComp[u], a*rl, rl, pb, ps, rl, aRL, true)
+				}
 			}
-			comp := xp + y*c.q
-			delta[0], delta[1] = 0, int32((x-xp)*red[y])
-			pair[0], pair[1] = Ccomp[u], Ccomp[comp]
-			c.pairRow.MulSegs(pair, uComp[u], idx, delta, scs)
+		} else {
+			// y > y0: digit y lives inside each run — blocks of iRL bytes,
+			// iStr apart, at matching offsets in shard and compact space
+			// (runs are contiguous in both). One call per plane run.
+			iRL := c.pow[c.t-1-y] * scs
+			iStr := c.pow[c.t-y] * scs
+			nI := rl / iStr
+			for xp := 0; xp < c.q; xp++ {
+				var cp []byte
+				var realC bool
+				comp := xp + y*c.q
+				shift := (x - xp) * iRL
+				if xp != x {
+					cp, realC = cBuf(comp)
+				}
+				for a := 0; a < nRuns; a++ {
+					dstBase := a*rl + xp*iRL
+					srcZ := a*rs + first*scs + xp*iRL
+					if xp == x {
+						if !realU {
+							for l := 0; l < nI; l++ {
+								clear(uComp[u][dstBase+l*iStr : dstBase+l*iStr+iRL])
+							}
+							continue
+						}
+						for l := 0; l < nI; l++ {
+							copy(uComp[u][dstBase+l*iStr:dstBase+l*iStr+iRL], cu[srcZ+l*iStr:srcZ+l*iStr+iRL])
+						}
+						continue
+					}
+					pair[0], pair[1] = cu, cp
+					pb[0], ps[0] = 0, 0
+					if realU {
+						pb[0], ps[0] = srcZ, iStr
+					}
+					pb[1], ps[1] = 0, 0
+					if realC {
+						pb[1], ps[1] = srcZ+shift, iStr
+					}
+					c.pairRow.ApplyStrided(pair, uComp[u], dstBase, iStr, pb, ps, iRL, nI, true)
+				}
+			}
 		}
 	}
 
-	// Step 2: MDS-solve the q unknowns of column y0, all repair planes in
-	// one contiguous program run.
+	// Step 2: MDS-solve the q unknowns of column y0 across all repair
+	// planes at once. The failed node's repair-plane sub-chunks are
+	// unpaired (C = U), so its reconstruction row writes strided straight
+	// into the output shard — the other lost rows stay compact for the
+	// step-3 coupling.
 	srcs := make([][]byte, len(dec.survivors))
-	dsts := make([][]byte, len(dec.lost))
-	dec.solveBatch(srcs, dsts, func(u int) []byte { return uComp[u] }, nil, scs, true)
-
-	// Step 3: the failed node's repair-plane sub-chunks are unpaired:
-	// C = U. Scatter back to the full plane space.
-	p := 0
-	for a := 0; a < nRuns; a++ {
-		z := a*runStride + first
-		n := runLen * scs
-		copy(out[z*scs:z*scs+n], uComp[u0][p*scs:p*scs+n])
-		p += runLen
+	sb := make([]int, len(srcs)) // all zero: compact buffers start at 0
+	st := make([]int, len(srcs))
+	for si, sv := range dec.survivors {
+		srcs[si] = uComp[sv]
+		st[si] = rl
+	}
+	for li, plan := range dec.rowPlans() {
+		l := dec.lost[li]
+		if l == u0 {
+			plan.ApplyStrided(srcs, out, first*scs, rs, sb, st, rl, nRuns, true)
+		} else {
+			plan.Mul(srcs, uComp[l])
+		}
 	}
 
-	// Step 4: recover the failed node's sub-chunks in the companion planes
-	// via the coupling relations with the column-y0 survivors — two
-	// full-width contiguous transforms per survivor, then a run scatter to
-	// the shifted companion planes w = setDigit(z, y0, x).
+	// Step 3: recover the failed node's sub-chunks in the companion planes
+	// via the coupling relations with the column-y0 survivors. Both
+	// transforms per survivor are single strided batches: the uncouple
+	// reads the survivor's C from its shard in place, and the couple
+	// writes the companion planes w = setDigit(z, y0, x) — byte offset
+	// x*rl + a*rs — straight into the output shard.
 	for x := 0; x < c.q; x++ {
 		if x == x0 {
 			continue
 		}
 		us := x + y0*c.q
-		pair[0], pair[1] = Ccomp[us], uComp[us]
-		c.uncoupleRow.Mul(pair, u2) // U2 = (C(x,y0) - U(x,y0)) / gamma
-		pair[0], pair[1] = u2, uComp[us]
-		c.coupleRow.Mul(pair, cout) // C(x0,y0,w) = U2 + gamma * U(x,y0)
-		shift := (x - x0) * runLen
-		p := 0
-		for a := 0; a < nRuns; a++ {
-			w := a*runStride + first + shift
-			n := runLen * scs
-			copy(out[w*scs:w*scs+n], cout[p*scs:p*scs+n])
-			p += runLen
+		cu, realC := cBuf(us)
+		// U2 = (C(x,y0) - U(x,y0)) / gamma
+		pair[0], pair[1] = cu, uComp[us]
+		pb[0], ps[0] = 0, 0
+		if realC {
+			pb[0], ps[0] = first*scs, rs
 		}
+		pb[1], ps[1] = 0, rl
+		c.uncoupleRow.ApplyStrided(pair, u2, 0, rl, pb, ps, rl, nRuns, true)
+		// C(x0,y0,w) = U2 + gamma * U(x,y0)
+		pair[0], pair[1] = u2, uComp[us]
+		pb[0], ps[0] = 0, rl
+		pb[1], ps[1] = 0, rl
+		c.coupleRow.ApplyStrided(pair, out, x*rl, rs, pb, ps, rl, nRuns, true)
 	}
 	shards[failedExt] = out
 	return nil

@@ -224,3 +224,49 @@ func BenchmarkClayBatchAB(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkKernelClayRepairSweep sweeps the single-repair sub-chunk size
+// from 128 B to 4 KiB — the operating region the zero-copy strided repair
+// claims — with the batched and per-plane formulations at every point.
+// Shard size is scs * alpha, so the sweep drives the size gate's own axis
+// directly; the batched gate is lifted so both paths cover the full range
+// and the crossover (if any) is visible in the numbers rather than hidden
+// by the gate.
+func BenchmarkKernelClayRepairSweep(b *testing.B) {
+	code, err := erasure.New("clay", 9, 3, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scs := range []int{128, 256, 512, 1024, 2048, 4096} {
+		size := scs * code.SubChunks()
+		rng := rand.New(rand.NewSource(int64(scs)))
+		full := make([][]byte, code.N())
+		for i := 0; i < code.K(); i++ {
+			full[i] = make([]byte, size)
+			rng.Read(full[i])
+		}
+		if err := code.Encode(full); err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []struct {
+			name    string
+			batched bool
+		}{{"batched", true}, {"perplane", false}} {
+			restoreB := clay.SetBatching(mode.batched)
+			restoreL := clay.SetBatchLimits(0, 1<<30)
+			b.Run(fmt.Sprintf("scs%dB/%s", scs, mode.name), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				for i := 0; i < b.N; i++ {
+					shards := make([][]byte, code.N())
+					copy(shards, full)
+					shards[1] = nil
+					if err := code.Repair(shards, []int{1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			restoreL()
+			restoreB()
+		}
+	}
+}

@@ -127,8 +127,10 @@ func (p *Program) run(srcs, dsts [][]byte, overwrite bool, workers int) {
 //
 // idx must be strictly increasing. Sub-packetized codes use this to solve
 // many scattered planes in one call per output row; the gf256 segment
-// layer coalesces adjacent planes and dispatches the strided SIMD kernels,
-// so callers need no layout knowledge. Output is byte-identical to one Run
+// layer coalesces adjacent planes and dispatches the strided SIMD kernels
+// (runs up to 1 KiB on the ymm tiers, 4 KiB on the zmm tier, longer runs
+// as windowed calls), so callers need no layout knowledge. Output is
+// byte-identical to one Run
 // per segment. RunSegs stays on the calling goroutine: segment batches are
 // bounded by the sub-packetization (alpha), far below the parallel
 // threshold Run calibrates for.

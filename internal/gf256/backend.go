@@ -8,55 +8,85 @@ import (
 
 // Row-kernel backends, ordered from weakest to strongest. Dispatch picks
 // the strongest backend the hardware (and build tags) support, and the
-// chain degrades one tier at a time: GFNI -> AVX2 -> word -> scalar.
+// chain degrades one tier at a time:
+// gfni512 -> gfni -> avx2 -> word -> scalar.
 //
-//   - scalar: byte-at-a-time product-table loop (the tail path).
-//   - word:   pure-Go SWAR bit-plane Horner over 64-bit words.
-//   - avx2:   split-nibble VPSHUFB row kernel, 32 bytes per step.
-//   - gfni:   VGF2P8AFFINEQB row kernel, one affine multiply per 32 bytes.
+//   - scalar:  byte-at-a-time product-table loop (the tail path).
+//   - word:    pure-Go SWAR bit-plane Horner over 64-bit words.
+//   - avx2:    split-nibble VPSHUFB row kernel, 32 bytes per step.
+//   - gfni:    VGF2P8AFFINEQB row kernel, one affine multiply per 32 bytes.
+//   - gfni512: zmm VGF2P8AFFINEQB, 64-byte strips with K-register masked
+//     tails — no overlap window or scalar tail at any segment size.
 //
 // The amd64 assembly backends live behind the `purego` build tag; building
 // with -tags purego (or running on another architecture) caps the chain at
-// the word kernels. At runtime the ECFAULT_NOSIMD environment variable
-// lowers the cap without rebuilding:
+// the word kernels. At runtime the ECFAULT_BACKEND environment variable
+// caps the chain without rebuilding:
 //
-//	ECFAULT_NOSIMD=avx2    disable GFNI, keep AVX2
-//	ECFAULT_NOSIMD=word    disable all SIMD (also: 1, true, or any other value)
-//	ECFAULT_NOSIMD=scalar  force the byte-at-a-time reference path
+//	ECFAULT_BACKEND=gfni512|gfni|avx2|word|scalar
+//
+// Unrecognised values fail safe to the portable word kernels. A tier above
+// what the hardware supports is a no-op (the hardware cap wins), so
+// Backends() under ECFAULT_BACKEND enumerates exactly the forced tier and
+// its fallbacks. ECFAULT_NOSIMD is kept as a legacy alias with the same
+// value syntax (ECFAULT_NOSIMD=1 means "word"); ECFAULT_BACKEND wins when
+// both are set.
 const (
 	backendScalar int32 = iota
 	backendWord
 	backendAVX2
 	backendGFNI
+	backendGFNI512
 )
 
-var backendNames = [...]string{"scalar", "word", "avx2", "gfni"}
+var backendNames = [...]string{"scalar", "word", "avx2", "gfni", "gfni512"}
 
 // activeBackend is the backend RowPlan.Apply dispatches on. It is set in
-// init from the hardware cap and ECFAULT_NOSIMD, and mutated only by
-// SetBackend (tests and benchmarks).
+// init from the hardware cap and ECFAULT_BACKEND/ECFAULT_NOSIMD, and
+// mutated only by SetBackend (tests and benchmarks).
 var activeBackend atomic.Int32
 
+// maxBackend is the strongest backend this process may select: the
+// hardware cap lowered by the environment override. Backends() and
+// SetBackend enumerate from it, so a forced tier bounds what the identity
+// sweeps and the CI backend matrix exercise. Written once in init.
+var maxBackend int32
+
 func init() {
-	activeBackend.Store(capBackend(hwBackend(), os.Getenv("ECFAULT_NOSIMD")))
+	maxBackend = capBackend(hwBackend(), backendEnv())
+	activeBackend.Store(maxBackend)
 }
 
-// capBackend applies the ECFAULT_NOSIMD cap to the hardware backend.
+// backendEnv resolves the environment override: ECFAULT_BACKEND first,
+// then the legacy ECFAULT_NOSIMD alias.
+func backendEnv() string {
+	if v := os.Getenv("ECFAULT_BACKEND"); v != "" {
+		return v
+	}
+	return os.Getenv("ECFAULT_NOSIMD")
+}
+
+// backendLevel maps a backend name to its dispatch level.
+func backendLevel(name string) (int32, bool) {
+	for i, n := range backendNames {
+		if n == name {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// capBackend applies the environment cap to the hardware backend.
 func capBackend(hw int32, env string) int32 {
 	cap := hw
-	switch env {
-	case "":
-		// no cap
-	case "gfni":
-		cap = backendGFNI
-	case "avx2":
-		cap = backendAVX2
-	case "scalar":
-		cap = backendScalar
-	default:
-		// "1", "true", "word", and anything unrecognised all mean
-		// "no SIMD": fail safe to the portable word kernels.
-		cap = backendWord
+	if env != "" {
+		if lvl, ok := backendLevel(env); ok {
+			cap = lvl
+		} else {
+			// "1", "true", and anything unrecognised all mean "no SIMD":
+			// fail safe to the portable word kernels.
+			cap = backendWord
+		}
 	}
 	if cap > hw {
 		cap = hw
@@ -67,8 +97,8 @@ func capBackend(hw int32, env string) int32 {
 // currentBackend returns the backend Apply dispatches on.
 func currentBackend() int32 { return activeBackend.Load() }
 
-// Backend returns the name of the active row-kernel backend: "gfni",
-// "avx2", "word", or "scalar".
+// Backend returns the name of the active row-kernel backend: "gfni512",
+// "gfni", "avx2", "word", or "scalar".
 func Backend() string { return backendNames[currentBackend()] }
 
 // Vectorized reports whether the active backend runs vector kernels with
@@ -78,15 +108,24 @@ func Backend() string { return backendNames[currentBackend()] }
 func Vectorized() bool { return currentBackend() >= backendAVX2 }
 
 // Backends returns the names of every backend available in this build on
-// this machine, strongest first. The weaker tiers are always present: they
-// are the fallback chain.
+// this machine under the current environment cap, strongest first. The
+// weaker tiers are always present: they are the fallback chain. Identity
+// sweeps and fuzzers enumerate this list, so any new dispatch tier is
+// covered automatically.
 func Backends() []string {
-	out := make([]string, 0, 4)
-	for b := hwBackend(); b >= backendScalar; b-- {
+	out := make([]string, 0, len(backendNames))
+	for b := maxBackend; b >= backendScalar; b-- {
 		out = append(out, backendNames[b])
 	}
 	return out
 }
+
+// StridedRunCap returns the run size (bytes) up to which the active
+// backend's strided segment kernel keeps whole runs in single calls: the
+// zmm kernel's masked tails make runs up to 4 KiB profitable, the ymm
+// kernels cap at 1 KiB. Callers sizing batch gates (Clay's sub-chunk
+// limits) key off it.
+func StridedRunCap() int { return stridedRunCap(currentBackend()) }
 
 // SetBackend forces the named backend and returns a function restoring the
 // previous one. It errors if the backend is not available in this build on
@@ -98,8 +137,8 @@ func SetBackend(name string) (restore func(), err error) {
 		if n != name {
 			continue
 		}
-		if int32(i) > hwBackend() {
-			return nil, fmt.Errorf("gf256: backend %q not available (have %q)", name, backendNames[hwBackend()])
+		if int32(i) > maxBackend {
+			return nil, fmt.Errorf("gf256: backend %q not available (have %q)", name, backendNames[maxBackend])
 		}
 		prev := activeBackend.Swap(int32(i))
 		return func() { activeBackend.Store(prev) }, nil

@@ -28,10 +28,43 @@ func gfniRowAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, n int, xor int)
 //go:noescape
 func avx2RowAsm(tbls *byte, srcs **byte, nsrc int, dst *byte, n int, xor int)
 
+// gfni512RowAsm is the zmm row kernel: 64-byte strips (unrolled to 128)
+// with the final partial strip finished by K-masked loads and a masked
+// store, so any n >= 1 completes in-kernel — no overlap window, no scalar
+// tail. Requires backendGFNI512.
+//
+//go:noescape
+func gfni512RowAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, n int, xor int)
+
+// gfni512StridedAsm is the zmm strided kernel with per-operand geometry:
+// count segments of segn bytes, the destination advancing dstride bytes
+// per segment and source j advancing strides[j] (0 re-reads the same
+// window — virtual zero shards). Segment tails are K-masked, so any
+// segn >= 1 stays fully in-kernel. The srcs pointer array is advanced in
+// place (clobbered); pointers always stay inside the segment just
+// processed, so the array remains GC-safe throughout.
+//
+//go:noescape
+func gfni512StridedAsm(mats *uint64, srcs **byte, strides *int, nsrc int, dst *byte, dstride, segn, count, xor int)
+
 var hwLevel = sync.OnceValue(detectHW)
 
 // hwBackend returns the strongest backend this machine supports.
 func hwBackend() int32 { return hwLevel() }
+
+// CPUID leaf 7 / XCR0 feature bits the dispatch chain cares about.
+const (
+	cpuidAVX2     = 1 << 5  // leaf 7 EBX
+	cpuidAVX512F  = 1 << 16 // leaf 7 EBX
+	cpuidAVX512DQ = 1 << 17 // leaf 7 EBX
+	cpuidAVX512BW = 1 << 30 // leaf 7 EBX
+	cpuidGFNI     = 1 << 8  // leaf 7 ECX
+
+	// XCR0: x87+SSE+YMM (the AVX set) and opmask+zmm-hi256+hi16-zmm
+	// (the AVX-512 state the OS must context-switch for zmm kernels).
+	xcr0YMM = 0x6
+	xcr0ZMM = 0xe6
+)
 
 func detectHW() int32 {
 	maxLeaf, _, _, _ := cpuidAsm(0, 0)
@@ -44,22 +77,67 @@ func detectHW() int32 {
 	if c1&osxsave == 0 || c1&avx == 0 {
 		return backendWord
 	}
-	if xlo, _ := xgetbvAsm(); xlo&0x6 != 0x6 {
+	xlo, _ := xgetbvAsm()
+	if xlo&xcr0YMM != xcr0YMM {
 		return backendWord // OS does not preserve YMM state
 	}
 	_, b7, c7, _ := cpuidAsm(7, 0)
-	const avx2 = 1 << 5 // EBX
-	const gfni = 1 << 8 // ECX
-	if b7&avx2 == 0 {
+	if b7&cpuidAVX2 == 0 {
 		return backendWord
+	}
+	if c7&cpuidGFNI == 0 {
+		return backendAVX2
+	}
+	// The zmm tier needs the EVEX forms: AVX512F for zmm arithmetic,
+	// AVX512BW for the byte-granular masked loads/stores (VMOVDQU8 with a
+	// K register), AVX512DQ for KMOVQ — plus an OS that saves the opmask
+	// and zmm register state (XCR0 bits 5-7 alongside x87/SSE/YMM).
+	const avx512 = cpuidAVX512F | cpuidAVX512DQ | cpuidAVX512BW
+	if b7&avx512 == avx512 && xlo&xcr0ZMM == xcr0ZMM {
+		return backendGFNI512
 	}
 	// The Go assembler emits the VEX form of VGF2P8AFFINEQB on ymm
 	// operands (verified via objdump: C4-prefixed), which needs only
 	// GFNI + AVX — no AVX-512 state beyond the YMM save already checked.
-	if c7&gfni != 0 {
-		return backendGFNI
+	return backendGFNI
+}
+
+// CPUFeatures returns the CPU/OS feature flags the kernel dispatch keys
+// off, for bench-record metadata and the CI backend matrix: a subset of
+// {avx2, gfni, avx512f, avx512dq, avx512bw, os-ymm, os-zmm}.
+func CPUFeatures() []string {
+	var out []string
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return out
 	}
-	return backendAVX2
+	_, b7, c7, _ := cpuidAsm(7, 0)
+	for _, f := range []struct {
+		name string
+		reg  uint32
+		bit  uint32
+	}{
+		{"avx2", b7, cpuidAVX2},
+		{"gfni", c7, cpuidGFNI},
+		{"avx512f", b7, cpuidAVX512F},
+		{"avx512dq", b7, cpuidAVX512DQ},
+		{"avx512bw", b7, cpuidAVX512BW},
+	} {
+		if f.reg&f.bit != 0 {
+			out = append(out, f.name)
+		}
+	}
+	_, _, c1, _ := cpuidAsm(1, 0)
+	if c1&(1<<27) != 0 { // OSXSAVE: XGETBV is legal
+		xlo, _ := xgetbvAsm()
+		if xlo&xcr0YMM == xcr0YMM {
+			out = append(out, "os-ymm")
+		}
+		if xlo&xcr0ZMM == xcr0ZMM {
+			out = append(out, "os-zmm")
+		}
+	}
+	return out
 }
 
 // Per-coefficient kernel constants, built once the first time a RowPlan is
@@ -130,6 +208,26 @@ func simdCompile(rp *RowPlan) {
 // the new bytes, so the scalar tail handles nothing but segments shorter
 // than one vector.
 func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite bool, backend int32) {
+	if backend == backendGFNI512 {
+		// The zmm kernel's K-masked tail covers any length in one call.
+		if end == off {
+			return
+		}
+		var ptrBuf [32]*byte
+		ptrs := ptrBuf[:0]
+		if len(rp.nzSrc) > len(ptrBuf) {
+			ptrs = make([]*byte, 0, len(rp.nzSrc))
+		}
+		for _, j := range rp.nzSrc {
+			ptrs = append(ptrs, &srcs[j][off])
+		}
+		xor := 1
+		if overwrite {
+			xor = 0
+		}
+		gfni512RowAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &dst[off], end-off, xor)
+		return
+	}
 	if end-off < 32 {
 		rp.tail(srcs, dst, off, end, overwrite)
 		return
@@ -212,11 +310,77 @@ func (rp *RowPlan) stridedSIMD(srcs [][]byte, dst []byte, base int, delta []int3
 	if overwrite {
 		xor = 0
 	}
-	if backend == backendGFNI {
+	switch backend {
+	case backendGFNI512:
+		var strideBuf [32]int
+		strides := strideBuf[:0]
+		if len(ptrs) > len(strideBuf) {
+			strides = make([]int, 0, len(ptrs))
+		}
+		for range ptrs {
+			strides = append(strides, stride)
+		}
+		gfni512StridedAsm(&rp.nzMat[0], &ptrs[0], &strides[0], len(ptrs), &dst[base], stride, segBytes, count, xor)
+	case backendGFNI:
 		gfniStridedAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &dst[base], segBytes, stride, count, xor)
-	} else {
+	default:
 		avx2StridedAsm(&rp.nzTbl[0], &ptrs[0], len(ptrs), &dst[base], segBytes, stride, count, xor)
 	}
+}
+
+// applyStridedSIMD runs the per-operand-geometry segment batch on the
+// active SIMD backend: count segments of segn bytes, the destination at
+// dstBase advancing dstStride per segment and source j at srcBase[j]
+// advancing srcStride[j] (0 pins a window — virtual zero shards). The zmm
+// kernel consumes the geometry directly; the ymm kernels only fit when
+// every operand shares one stride and the segment fills a vector. Returns
+// false when no kernel fits (the caller walks per-segment windows).
+func (rp *RowPlan) applyStridedSIMD(srcs [][]byte, dst []byte, dstBase, dstStride int, srcBase, srcStride []int, segn, count int, overwrite bool, backend int32) bool {
+	if backend < backendGFNI512 {
+		// Lockstep ymm kernels: one shared stride, >= one vector per
+		// segment, below the run cap (longer runs amortize per-window
+		// calls on their own).
+		if segn < 32 || segn >= stridedMaxRun {
+			return false
+		}
+		for _, j := range rp.nzSrc {
+			if srcStride[j] != dstStride {
+				return false
+			}
+		}
+	}
+	var ptrBuf [32]*byte
+	ptrs := ptrBuf[:0]
+	if len(rp.nzSrc) > len(ptrBuf) {
+		ptrs = make([]*byte, 0, len(rp.nzSrc))
+	}
+	for _, j := range rp.nzSrc {
+		so := srcBase[j]
+		_ = srcs[j][so+(count-1)*srcStride[j]+segn-1] // bounds-check the span
+		ptrs = append(ptrs, &srcs[j][so])
+	}
+	_ = dst[dstBase+(count-1)*dstStride+segn-1]
+	xor := 1
+	if overwrite {
+		xor = 0
+	}
+	switch backend {
+	case backendGFNI512:
+		var strideBuf [32]int
+		strides := strideBuf[:0]
+		if len(rp.nzSrc) > len(strideBuf) {
+			strides = make([]int, 0, len(rp.nzSrc))
+		}
+		for _, j := range rp.nzSrc {
+			strides = append(strides, srcStride[j])
+		}
+		gfni512StridedAsm(&rp.nzMat[0], &ptrs[0], &strides[0], len(ptrs), &dst[dstBase], dstStride, segn, count, xor)
+	case backendGFNI:
+		gfniStridedAsm(&rp.nzMat[0], &ptrs[0], len(ptrs), &dst[dstBase], segn, dstStride, count, xor)
+	default:
+		avx2StridedAsm(&rp.nzTbl[0], &ptrs[0], len(ptrs), &dst[dstBase], segn, dstStride, count, xor)
+	}
+	return true
 }
 
 // simdMulAddSlice is the single-coefficient entry used by MulAddSlice and
@@ -224,6 +388,18 @@ func (rp *RowPlan) stridedSIMD(srcs [][]byte, dst []byte, base int, delta []int3
 // constants. Returns false when the active backend has no SIMD.
 func simdMulAddSlice(c byte, src, dst []byte, overwrite bool) bool {
 	b := currentBackend()
+	if b == backendGFNI512 && len(dst) >= 16 {
+		// Masked tails make a single zmm call worthwhile down to one
+		// vector's worth of work; shorter slices stay on the word path.
+		simdTablesOnce.Do(buildSIMDTables)
+		ptr := &src[0]
+		xor := 1
+		if overwrite {
+			xor = 0
+		}
+		gfni512RowAsm(&gfniMats[c], &ptr, 1, &dst[0], len(dst), xor)
+		return true
+	}
 	if b < backendAVX2 || len(dst) < 32 {
 		return false
 	}

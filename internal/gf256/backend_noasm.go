@@ -4,11 +4,15 @@ package gf256
 
 // Without the amd64 assembly (other architectures, or the purego build
 // tag) the chain caps at the portable word kernels; the dispatch constants
-// and ECFAULT_NOSIMD handling are unchanged, so scalar can still be forced
-// for reference runs.
+// and ECFAULT_BACKEND handling are unchanged, so scalar can still be
+// forced for reference runs.
 
 // hwBackend returns the strongest backend this build supports.
 func hwBackend() int32 { return backendWord }
+
+// CPUFeatures reports no dispatch-relevant CPU features: the portable
+// build never consults CPUID.
+func CPUFeatures() []string { return nil }
 
 // simdCompile is a no-op: there are no kernel constants to attach.
 func simdCompile(rp *RowPlan) {}
@@ -22,6 +26,12 @@ func (rp *RowPlan) applySIMD(srcs [][]byte, dst []byte, off, end int, overwrite 
 // MulAddStrided only route here when the active backend is SIMD.
 func (rp *RowPlan) stridedSIMD(srcs [][]byte, dst []byte, base int, delta []int32, segLen, segBytes, stride, count int, overwrite bool, backend int32) {
 	panic("gf256: SIMD backend selected without assembly support")
+}
+
+// applyStridedSIMD reports that no strided SIMD kernel exists; ApplyStrided
+// then walks per-segment windows on the word kernels.
+func (rp *RowPlan) applyStridedSIMD(srcs [][]byte, dst []byte, dstBase, dstStride int, srcBase, srcStride []int, segn, count int, overwrite bool, backend int32) bool {
+	return false
 }
 
 // simdMulAddSlice reports that no SIMD single-coefficient kernel exists.

@@ -68,12 +68,31 @@ func TestCapBackend(t *testing.T) {
 		{backendAVX2, "gfni", backendAVX2}, // cap above hardware is a no-op
 		{backendWord, "", backendWord},
 		{backendWord, "avx2", backendWord},
+		{backendGFNI512, "", backendGFNI512},
+		{backendGFNI512, "gfni512", backendGFNI512},
+		{backendGFNI512, "gfni", backendGFNI},
+		{backendGFNI512, "avx2", backendAVX2},
+		{backendGFNI512, "word", backendWord},
+		{backendGFNI512, "1", backendWord},
+		{backendGFNI, "gfni512", backendGFNI}, // cap above hardware is a no-op
 	}
 	for _, c := range cases {
 		if got := capBackend(c.hw, c.env); got != c.want {
 			t.Errorf("capBackend(%s, %q) = %s, want %s",
 				backendNames[c.hw], c.env, backendNames[got], backendNames[c.want])
 		}
+	}
+}
+
+func TestBackendEnvPrecedence(t *testing.T) {
+	t.Setenv("ECFAULT_BACKEND", "avx2")
+	t.Setenv("ECFAULT_NOSIMD", "scalar")
+	if got := backendEnv(); got != "avx2" {
+		t.Fatalf("ECFAULT_BACKEND should win over ECFAULT_NOSIMD, got %q", got)
+	}
+	t.Setenv("ECFAULT_BACKEND", "")
+	if got := backendEnv(); got != "scalar" {
+		t.Fatalf("ECFAULT_NOSIMD alias not honoured, got %q", got)
 	}
 }
 

@@ -30,8 +30,31 @@ import "sync"
 
 // stridedMaxRun is the run size (bytes) above which per-run Apply calls
 // beat the strided kernel: long runs amortize their own call overhead and
-// the contiguous kernels use wider strips.
-const stridedMaxRun = 1024
+// the contiguous kernels use wider strips. The zmm kernel runs the same
+// strip widths as its contiguous counterpart with masked tails, so its cap
+// sits at 4 KiB (stridedMaxRun512).
+const (
+	stridedMaxRun    = 1024
+	stridedMaxRun512 = 4096
+)
+
+// stridedRunCap returns the strided-kernel run cap for a backend tier.
+func stridedRunCap(b int32) int {
+	if b >= backendGFNI512 {
+		return stridedMaxRun512
+	}
+	return stridedMaxRun
+}
+
+// stridedMinRun returns the smallest run the tier's strided kernel takes:
+// the ymm kernels need a full vector per segment, the zmm kernel's
+// K-masked tails handle any size.
+func stridedMinRun(b int32) int {
+	if b >= backendGFNI512 {
+		return 1
+	}
+	return 32
+}
 
 // segRun is a coalesced run of consecutive segments: segment indices
 // [start, start+n).
@@ -117,7 +140,7 @@ func (rp *RowPlan) ApplySegs(srcs [][]byte, dst []byte, idx []int32, delta []int
 	}
 	if b := currentBackend(); b >= backendAVX2 {
 		rb := int(runs[0].n) * segLen
-		if uniform && rb >= 32 && rb < stridedMaxRun {
+		if uniform && rb >= stridedMinRun(b) && rb < stridedRunCap(b) {
 			stride := int(runs[1].start-runs[0].start) * segLen
 			rp.stridedSIMD(srcs, dst, int(runs[0].start)*segLen, delta, segLen, rb, stride, len(runs), overwrite, b)
 			return
@@ -128,7 +151,10 @@ func (rp *RowPlan) ApplySegs(srcs [][]byte, dst []byte, idx []int32, delta []int
 				maxRun = r.n
 			}
 		}
-		if int(maxRun)*segLen < 32 {
+		// The ymm tiers gather sub-vector runs into the arena; the zmm
+		// kernel's masked tails make per-run windows cheaper than the
+		// gather's three memcpy passes at any run size.
+		if int(maxRun)*segLen < 32 && b < backendGFNI512 {
 			rp.applyGather(srcs, dst, runs, delta, segLen, overwrite)
 			return
 		}
@@ -160,13 +186,96 @@ func (rp *RowPlan) MulAddStrided(srcs [][]byte, dst []byte, base, segLen, stride
 		rp.applyWindow(srcs, dst, base, nil, segLen, segLen*count, false)
 		return
 	}
-	if b := currentBackend(); b >= backendAVX2 && count > 1 && segLen >= 32 && segLen < stridedMaxRun {
+	if b := currentBackend(); b >= backendAVX2 && count > 1 && segLen >= stridedMinRun(b) && segLen < stridedRunCap(b) {
 		rp.stridedSIMD(srcs, dst, base, nil, segLen, segLen, stride, count, false, b)
 		return
 	}
 	for s := 0; s < count; s++ {
 		rp.applyWindow(srcs, dst, base+s*stride, nil, segLen, segLen, false)
 	}
+}
+
+// ApplyStrided applies the plan to count segments of segn bytes where
+// every operand carries its own base offset and stride: for s in
+// [0, count) and i in [0, segn),
+//
+//	dst[dstBase+s*dstStride+i] (^)= Σ_j coeffs[j] * srcs[j][srcBase[j]+s*srcStride[j]+i]
+//
+// A source stride of 0 re-reads the same window for every segment (virtual
+// zero shards); destination segments must not overlap (dstStride >= segn),
+// and no source window may alias the destination. This is the fully
+// general layout entry: Clay's zero-copy repair uses it to combine
+// shard-space operands (plane-run strides) with compact scratch (run-width
+// strides) in single calls. The zmm strided kernel consumes the geometry
+// directly; the ymm tiers fall back to a lockstep strided call when all
+// strides agree, and every other case walks per-segment windows — all
+// byte-identical.
+func (rp *RowPlan) ApplyStrided(srcs [][]byte, dst []byte, dstBase, dstStride int, srcBase, srcStride []int, segn, count int, overwrite bool) {
+	if len(srcs) != len(rp.coeffs) {
+		panic("gf256: RowPlan source count mismatch")
+	}
+	if len(srcBase) != len(srcs) || len(srcStride) != len(srcs) {
+		panic("gf256: RowPlan stride geometry mismatch")
+	}
+	if segn <= 0 || count <= 0 {
+		return
+	}
+	if count > 1 && dstStride < segn {
+		panic("gf256: strided segments overlap")
+	}
+	for _, j := range rp.nzSrc {
+		if srcStride[j] < 0 {
+			panic("gf256: negative source stride")
+		}
+	}
+	if rp.maxBit < 0 { // zero row
+		if overwrite {
+			for s := 0; s < count; s++ {
+				off := dstBase + s*dstStride
+				clear(dst[off : off+segn])
+			}
+		}
+		return
+	}
+	if count == 1 {
+		rp.applyWindowAt(srcs, dst, dstBase, srcBase, segn, overwrite)
+		return
+	}
+	if b := currentBackend(); b >= backendAVX2 &&
+		rp.applyStridedSIMD(srcs, dst, dstBase, dstStride, srcBase, srcStride, segn, count, overwrite, b) {
+		return
+	}
+	var offBuf [16]int
+	var offs []int
+	if len(srcs) <= len(offBuf) {
+		offs = offBuf[:len(srcs)]
+	} else {
+		offs = make([]int, len(srcs))
+	}
+	for s := 0; s < count; s++ {
+		for _, j := range rp.nzSrc {
+			offs[j] = srcBase[j] + s*srcStride[j]
+		}
+		rp.applyWindowAt(srcs, dst, dstBase+s*dstStride, offs, segn, overwrite)
+	}
+}
+
+// applyWindowAt runs Apply over one n-byte window with per-source absolute
+// byte offsets (applyWindow's generalization from shared segment-index
+// deltas to arbitrary operand bases).
+func (rp *RowPlan) applyWindowAt(srcs [][]byte, dst []byte, dstOff int, srcOff []int, n int, overwrite bool) {
+	var winBuf [16][]byte
+	var wins [][]byte
+	if len(srcs) <= len(winBuf) {
+		wins = winBuf[:len(srcs)]
+	} else {
+		wins = make([][]byte, len(srcs))
+	}
+	for _, j := range rp.nzSrc {
+		so := srcOff[j]
+		wins[j] = srcs[j][so : so+n : so+n]
+	}
+	rp.Apply(wins, dst[dstOff:dstOff+n:dstOff+n], 0, n, overwrite)
 }
 
 // applyWindow runs Apply over one contiguous run of n bytes: the

@@ -1,0 +1,125 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX-512 GFNI row kernel: dst[i] (^)= XOR_j affine(mats[j], srcs[j][i])
+// over [0, n) for any n >= 1. Full 64-byte strips run unrolled two at a
+// time in zmm registers; the final partial strip (n % 64 bytes) is
+// finished with K-masked loads and a masked store, so no overlap window or
+// scalar tail exists at any length. Masked-off source bytes load as zero,
+// and affine(M, 0) == 0, so they contribute nothing to the accumulator.
+//
+// Register plan:
+//	R8  affine matrix array base
+//	R9  source pointer array base
+//	R10 source count
+//	DI  destination base
+//	DX  total bytes
+//	R13 bytes covered by full 64-byte strips (DX &^ 63)
+//	R14 xor flag (0 = overwrite, else accumulate)
+//	R12 strip offset, CX source index, SI current source pointer
+//	K1  tail byte mask: (1 << (DX & 63)) - 1
+//	Z0/Z1 accumulators, Z2 broadcast matrix, Z3/Z4 source data
+
+// func gfni512RowAsm(mats *uint64, srcs **byte, nsrc int, dst *byte, n int, xor int)
+TEXT ·gfni512RowAsm(SB), NOSPLIT, $0-48
+	MOVQ mats+0(FP), R8
+	MOVQ srcs+8(FP), R9
+	MOVQ nsrc+16(FP), R10
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), DX
+	MOVQ xor+40(FP), R14
+
+	MOVQ  DX, CX
+	ANDQ  $63, CX
+	MOVQ  $1, AX
+	SHLQ  CX, AX
+	DECQ  AX
+	KMOVQ AX, K1         // (1<<(n%64))-1: byte mask of the final partial strip
+	MOVQ  DX, R13
+	ANDQ  $-64, R13      // bytes covered by full strips
+	XORQ  R12, R12
+
+r512Strip128:
+	LEAQ 128(R12), AX
+	CMPQ AX, R13
+	JGT  r512Strip64
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	XORQ   CX, CX
+
+r512Src128:
+	MOVQ (R9)(CX*8), SI
+	VBROADCASTSD (R8)(CX*8), Z2
+	VMOVDQU64 (SI)(R12*1), Z3
+	VMOVDQU64 64(SI)(R12*1), Z4
+	VGF2P8AFFINEQB $0, Z2, Z3, Z3
+	VGF2P8AFFINEQB $0, Z2, Z4, Z4
+	VPXORQ Z3, Z0, Z0
+	VPXORQ Z4, Z1, Z1
+	INCQ CX
+	CMPQ CX, R10
+	JLT  r512Src128
+
+	TESTQ R14, R14
+	JZ    r512Store128
+	VPXORQ (DI)(R12*1), Z0, Z0
+	VPXORQ 64(DI)(R12*1), Z1, Z1
+
+r512Store128:
+	VMOVDQU64 Z0, (DI)(R12*1)
+	VMOVDQU64 Z1, 64(DI)(R12*1)
+	ADDQ $128, R12
+	JMP  r512Strip128
+
+r512Strip64:
+	CMPQ R12, R13
+	JGE  r512Tail
+	VPXORQ Z0, Z0, Z0
+	XORQ   CX, CX
+
+r512Src64:
+	MOVQ (R9)(CX*8), SI
+	VBROADCASTSD (R8)(CX*8), Z2
+	VMOVDQU64 (SI)(R12*1), Z3
+	VGF2P8AFFINEQB $0, Z2, Z3, Z3
+	VPXORQ Z3, Z0, Z0
+	INCQ CX
+	CMPQ CX, R10
+	JLT  r512Src64
+
+	TESTQ R14, R14
+	JZ    r512Store64
+	VPXORQ (DI)(R12*1), Z0, Z0
+
+r512Store64:
+	VMOVDQU64 Z0, (DI)(R12*1)
+	ADDQ $64, R12
+
+r512Tail:
+	CMPQ R12, DX
+	JGE  r512Done
+	VPXORQ Z0, Z0, Z0
+	XORQ   CX, CX
+
+r512SrcTail:
+	MOVQ (R9)(CX*8), SI
+	VBROADCASTSD (R8)(CX*8), Z2
+	VMOVDQU8.Z (SI)(R12*1), K1, Z3
+	VGF2P8AFFINEQB $0, Z2, Z3, Z3
+	VPXORQ Z3, Z0, Z0
+	INCQ CX
+	CMPQ CX, R10
+	JLT  r512SrcTail
+
+	TESTQ R14, R14
+	JZ    r512StoreTail
+	VMOVDQU8.Z (DI)(R12*1), K1, Z4
+	VPXORQ Z4, Z0, Z0
+
+r512StoreTail:
+	VMOVDQU8 Z0, K1, (DI)(R12*1)
+
+r512Done:
+	VZEROUPPER
+	RET

@@ -3,26 +3,40 @@
 # (BenchmarkClayBatchAB in internal/erasure/conformance).
 #
 # Usage:
-#   scripts/bench_codec.sh [-n benchtime]
+#   scripts/bench_codec.sh [-n benchtime] [-g]
 #
 # For each of the headline shapes (clay(9,3,11) encode and single repair
 # at 4 KiB and 64 KiB shards) the same benchmark runs with the batched
 # paths on ("batched") and forced off via ECFAULT_NOBATCH ("perplane"),
-# and the ratio is printed as "speedup <op>/<size>: N.NNx". CI's
-# bench-codec job parses those lines and enforces a floor on the 4 KiB
-# encode ratio — the configuration regime the batching exists for. Large
-# sizes sit near 1.0x by design: the per-plane path already amortizes
-# kernel calls there and the size gates route to it.
+# and the ratio is printed as "speedup <op>/<size>: N.NNx". Large sizes
+# sit near 1.0x by design: the per-plane path already amortizes kernel
+# calls there and the size gates route to it.
+#
+# -g enforces the CI ratio guard: the 4 KiB encode speedup (the
+# configuration regime the batching exists for) must clear the 1.5x
+# floor. The floor is calibrated on the GFNI tiers; hosts whose dispatch
+# lands below gfni (no GFNI, or no AVX-512 + AVX2-only kernels) get a
+# skip-with-notice instead of a hard failure so the harness stays usable
+# on such runners and the arm64 cross-build job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME=200x
-while getopts "n:" opt; do
+GUARD=0
+while getopts "n:g" opt; do
   case "$opt" in
     n) BENCHTIME="$OPTARG" ;;
+    g) GUARD=1 ;;
     *) exit 2 ;;
   esac
 done
+
+# Report the dispatch tier and CPU features up front so recorded numbers
+# are attributable to a kernel tier (BENCH_CODEC.json meta carries the
+# same fields).
+PROBE=$(go run ./cmd/ecbench -backends)
+echo "$PROBE"
+BACKEND=$(echo "$PROBE" | awk '$1 == "backend:" { print $2 }')
 
 # One pass collects every sub-benchmark: "<op>/<size>/<mode> <ns>" lines.
 run() {
@@ -44,3 +58,22 @@ echo "$OUT" | awk '
     for (k in before)
       printf "speedup %s: %.2fx\n", k, before[k] / after[k]
   }' | sort
+
+if [ "$GUARD" = 1 ]; then
+  case "$BACKEND" in
+    gfni|gfni512) ;;
+    *)
+      echo "notice: active backend is '$BACKEND' (no AVX-512/GFNI on this host); skipping the 1.5x ratio guard" >&2
+      exit 0
+      ;;
+  esac
+  SPEEDUP=$(echo "$OUT" | awk '
+    $1 == "encode/4KiB" && $2 == "batched"  { after = $3 }
+    $1 == "encode/4KiB" && $2 == "perplane" { before = $3 }
+    END { printf "%.2f", before / after }')
+  awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 1.5) }' || {
+    echo "clay 4KiB batched-encode speedup ${SPEEDUP}x fell below the 1.5x floor" >&2
+    exit 1
+  }
+  echo "guard: clay 4KiB batched-encode speedup ${SPEEDUP}x >= 1.5x floor"
+fi
