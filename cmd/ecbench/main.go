@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/erasure/kernel"
 	"repro/internal/experiments"
 	"repro/internal/gf256"
 	"repro/internal/parallel"
@@ -42,6 +43,9 @@ func main() {
 		fmt.Printf("backend: %s\n", gf256.Backend())
 		fmt.Printf("available: %s\n", strings.Join(gf256.Backends(), " "))
 		fmt.Printf("cpu_features: %s\n", strings.Join(gf256.CPUFeatures(), " "))
+		chunk, parThresh, stridedThresh := kernel.Tuning()
+		fmt.Printf("tuning: chunk_bytes=%d parallel_threshold=%d strided_threshold=%d kernel_workers=%d\n",
+			chunk, parThresh, stridedThresh, parallel.KernelWorkers())
 		return
 	}
 	if *workers > 0 {

@@ -226,18 +226,21 @@ func BenchmarkClayBatchAB(b *testing.B) {
 }
 
 // BenchmarkKernelClayRepairSweep sweeps the single-repair sub-chunk size
-// from 128 B to 4 KiB — the operating region the zero-copy strided repair
-// claims — with the batched and per-plane formulations at every point.
-// Shard size is scs * alpha, so the sweep drives the size gate's own axis
-// directly; the batched gate is lifted so both paths cover the full range
-// and the crossover (if any) is visible in the numbers rather than hidden
-// by the gate.
+// from 128 B to 8 KiB — the operating region the zero-copy strided repair
+// claims, extended one size class past the worker-aware gate — with the
+// batched and per-plane formulations at every point. Shard size is
+// scs * alpha, so the sweep drives the size gate's own axis directly; the
+// batched gate is lifted so both paths cover the full range and the
+// crossover (if any) is visible in the numbers rather than hidden by the
+// gate. Run with ECFAULT_KERNEL_WORKERS=1 to A/B the parallel strided
+// execution against a serial kernel (scripts/bench_codec.sh -p records
+// that comparison into BENCH_CODEC.json).
 func BenchmarkKernelClayRepairSweep(b *testing.B) {
 	code, err := erasure.New("clay", 9, 3, 11)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, scs := range []int{128, 256, 512, 1024, 2048, 4096} {
+	for _, scs := range []int{128, 256, 512, 1024, 2048, 4096, 8192} {
 		size := scs * code.SubChunks()
 		rng := rand.New(rand.NewSource(int64(scs)))
 		full := make([][]byte, code.N())

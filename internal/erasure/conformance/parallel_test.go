@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/erasure"
+	"repro/internal/erasure/clay"
 	"repro/internal/parallel"
 )
 
@@ -59,6 +60,76 @@ func compareShards(t *testing.T, what string, serial, par [][]byte) {
 	for i := range serial {
 		if !bytes.Equal(serial[i], par[i]) {
 			t.Errorf("%s: shard %d differs between serial and parallel execution", what, i)
+		}
+	}
+}
+
+// TestClayStridedParallelIdentical pushes the zero-copy strided repair
+// and the batched decode through the parallel gf256 entries at forced
+// kernel worker counts (the pool oversizes past NumCPU, so single-core CI
+// still exercises real cross-goroutine splits) and requires byte-identity
+// with the single-worker pass. Sub-chunk sizes straddle the strided
+// parallel threshold; batch gates are forced open so the strided path is
+// exercised at every size.
+func TestClayStridedParallelIdentical(t *testing.T) {
+	code, err := erasure.New("clay", 9, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clay.SetBatchLimits(1<<30, 1<<30)()
+	for _, scs := range []int{512, 1024, 4096} {
+		rng := rand.New(rand.NewSource(int64(scs)))
+		data := make([][]byte, code.K())
+		for i := range data {
+			data[i] = make([]byte, code.SubChunks()*scs)
+			rng.Read(data[i])
+		}
+		shards := alignedShards(code, data, 0)
+		if err := code.Encode(shards); err != nil {
+			t.Fatalf("encode scs=%d: %v", scs, err)
+		}
+
+		// Repair each of a few failure positions (different y0 geometries)
+		// and a two-loss decode, serial baseline vs forced worker counts.
+		for _, failed := range []int{0, 1, code.K()} {
+			var want []byte
+			for _, workers := range []int{1, 2, 7} {
+				rep := cloneShards(shards)
+				rep[failed] = nil
+				prev := parallel.SetKernelWorkers(workers)
+				err := code.Repair(rep, []int{failed})
+				parallel.SetKernelWorkers(prev)
+				if err != nil {
+					t.Fatalf("repair scs=%d failed=%d workers=%d: %v", scs, failed, workers, err)
+				}
+				if workers == 1 {
+					want = rep[failed]
+					continue
+				}
+				if !bytes.Equal(rep[failed], want) {
+					t.Errorf("scs=%d failed=%d workers=%d: parallel strided repair differs from serial", scs, failed, workers)
+				}
+				if !bytes.Equal(rep[failed], shards[failed]) {
+					t.Errorf("scs=%d failed=%d workers=%d: repair does not reproduce the encoded shard", scs, failed, workers)
+				}
+			}
+		}
+
+		var want [][]byte
+		for _, workers := range []int{1, 2, 7} {
+			dec := cloneShards(shards)
+			dec[0], dec[code.K()] = nil, nil
+			prev := parallel.SetKernelWorkers(workers)
+			err := code.Decode(dec)
+			parallel.SetKernelWorkers(prev)
+			if err != nil {
+				t.Fatalf("decode scs=%d workers=%d: %v", scs, workers, err)
+			}
+			if workers == 1 {
+				want = dec
+				continue
+			}
+			compareShards(t, "batched decode", want, dec)
 		}
 	}
 }

@@ -13,17 +13,23 @@ import (
 
 // Program chunking was originally tuned by hand for one core (16 KiB
 // chunks, 64 KiB parallel threshold). Those numbers are now only the
-// fallback: the first Run derives both from the machine — a one-shot
+// fallback: the first Run derives them from the machine — a one-shot
 // microprobe times the active gf256 backend at candidate chunk sizes and
 // measures worker-pool handoff, and runtime.NumCPU scales the parallel
-// threshold. Environment overrides pin either value for reproducible
-// benchmarking:
+// threshold. The same probe prices the strided parallel threshold: the
+// minimum total bytes a strided/segment batch (RunSegs, the clay repair
+// calls) must carry before fanning out across the pool. Strided batches
+// fan out per call rather than per stripe, so their threshold is a
+// handoff multiple without the NumCPU scaling. Environment overrides pin
+// the values for reproducible benchmarking:
 //
 //	ECFAULT_CHUNK=bytes     stripe chunk processed per pass over all rows
-//	ECFAULT_PARALLEL=bytes  min rows*stripe work before fanning out
+//	ECFAULT_PARALLEL=bytes  min rows*stripe work before fanning out; also
+//	                        pins the strided threshold (each clamped into
+//	                        its own range)
 //
-// The choice never affects output bytes — every chunking of a Program run
-// is byte-identical by construction — only throughput.
+// The choice never affects output bytes — every chunking or split of a
+// run is byte-identical by construction — only throughput.
 const (
 	defaultChunkBytes        = 16 << 10
 	defaultParallelThreshold = 64 << 10
@@ -33,36 +39,72 @@ const (
 
 	minParallelThreshold = 32 << 10
 	maxParallelThreshold = 8 << 20
+
+	minStridedThreshold = 16 << 10
+	maxStridedThreshold = 96 << 10
 )
 
-var tuningOnce = sync.OnceValues(func() (int, int) {
+var tuningOnce = sync.OnceValue(func() tuned {
 	return computeTuning(runtime.NumCPU(), os.Getenv("ECFAULT_CHUNK"), os.Getenv("ECFAULT_PARALLEL"))
 })
 
-// tuning returns the calibrated (chunkBytes, parallelThreshold) pair,
-// probing on first use.
-func tuning() (int, int) { return tuningOnce() }
+// tuned is the calibrated tuple: stripe chunk bytes, the rows*stripe
+// work floor for Program.Run fan-out, and the total-bytes floor for
+// strided/segment fan-out.
+type tuned struct {
+	chunkBytes        int
+	parallelThreshold int
+	stridedThreshold  int
+}
 
-// Tuning exposes the calibrated chunk size and parallel threshold (tests,
-// benchmarks, and diagnostics; the hot path uses the internal accessor).
-func Tuning() (chunkBytes, parallelThreshold int) { return tuning() }
+// tuning returns the calibrated tuple, probing on first use.
+func tuning() tuned { return tuningOnce() }
 
-// computeTuning resolves the chunk size and parallel threshold from the
-// env overrides, running the microprobe only for values not pinned.
-func computeTuning(ncpu int, chunkEnv, parEnv string) (chunk, thresh int) {
-	chunk = clampEnvBytes(chunkEnv, minChunkBytes, maxChunkBytes)
-	thresh = clampEnvBytes(parEnv, minParallelThreshold, maxParallelThreshold)
-	if chunk > 0 && thresh > 0 {
-		return chunk, thresh
+// Tuning exposes the calibrated chunk size and thresholds (tests,
+// benchmarks, and `ecbench -backends` diagnostics; the hot path uses the
+// internal accessor).
+func Tuning() (chunkBytes, parallelThreshold, stridedThreshold int) {
+	t := tuning()
+	return t.chunkBytes, t.parallelThreshold, t.stridedThreshold
+}
+
+// StridedWorkers returns the worker count a strided/segment batch of
+// total output-side bytes should fan out across: 1 (stay serial) below
+// the calibrated strided threshold, else the kernel worker budget capped
+// so every worker keeps at least half a threshold of work. Callers pass
+// the result to the gf256 *Parallel entries.
+func StridedWorkers(total int) int {
+	t := tuning()
+	if total < t.stridedThreshold {
+		return 1
 	}
-	pc, pt := probeTuning(ncpu)
+	w := parallel.KernelWorkers()
+	if most := total / (t.stridedThreshold / 2); w > most {
+		w = most
+	}
+	return w
+}
+
+// computeTuning resolves the tuple from the env overrides, running the
+// microprobe only when something is left unpinned.
+func computeTuning(ncpu int, chunkEnv, parEnv string) tuned {
+	chunk := clampEnvBytes(chunkEnv, minChunkBytes, maxChunkBytes)
+	thresh := clampEnvBytes(parEnv, minParallelThreshold, maxParallelThreshold)
+	strided := clampEnvBytes(parEnv, minStridedThreshold, maxStridedThreshold)
+	if chunk > 0 && thresh > 0 {
+		return tuned{chunk, thresh, strided}
+	}
+	pc, pt, ps := probeTuning(ncpu)
 	if chunk <= 0 {
 		chunk = pc
 	}
 	if thresh <= 0 {
 		thresh = pt
 	}
-	return chunk, thresh
+	if strided <= 0 {
+		strided = ps
+	}
+	return tuned{chunk, thresh, strided}
 }
 
 // clampEnvBytes parses an integer byte count from an env value, clamping
@@ -80,9 +122,9 @@ func clampEnvBytes(v string, lo, hi int) int {
 
 // probeTuning times a representative program (three parity rows over nine
 // sources, the paper's RS(12,9) shape) across candidate chunk sizes and
-// picks the fastest, then prices worker handoff to place the parallel
-// threshold. Total budget is a few milliseconds, paid once per process.
-func probeTuning(ncpu int) (chunk, thresh int) {
+// picks the fastest, then prices worker handoff to place both parallel
+// thresholds. Total budget is a few milliseconds, paid once per process.
+func probeTuning(ncpu int) (chunk, thresh, strided int) {
 	const stripe = 128 << 10
 	const width, rows = 9, 3
 	srcs := make([][]byte, width)
@@ -126,13 +168,20 @@ func probeTuning(ncpu int) (chunk, thresh int) {
 	}
 
 	// Price a pool dispatch, then require the fanned-out work to be worth
-	// several dispatches per worker so handoff stays in the noise.
+	// several dispatches per worker so handoff stays in the noise. The
+	// first ForEach also warms the persistent pool, so the measured cost
+	// is a parked-worker handoff, not goroutine creation.
 	const dispatches = 32
+	parallel.ForEach(2, 2, func(int) {})
 	start := time.Now()
 	for i := 0; i < dispatches; i++ {
 		parallel.ForEach(2, 2, func(int) {})
 	}
 	handoffNs := float64(time.Since(start).Nanoseconds()) / dispatches
 	thresh = int(handoffNs * bestBytesPerNs * 8 * float64(max(ncpu, 1)))
-	return chunk, min(max(thresh, minParallelThreshold), maxParallelThreshold)
+	// Strided batches dispatch once per kernel call, so the floor is a
+	// plain handoff multiple: eight handoffs' worth of serial work.
+	strided = int(handoffNs * bestBytesPerNs * 8)
+	return chunk, min(max(thresh, minParallelThreshold), maxParallelThreshold),
+		min(max(strided, minStridedThreshold), maxStridedThreshold)
 }

@@ -3,49 +3,80 @@ package kernel
 import "testing"
 
 func TestComputeTuningEnvOverrides(t *testing.T) {
-	chunk, thresh := computeTuning(4, "32768", "1048576")
-	if chunk != 32768 {
-		t.Fatalf("chunk override: got %d, want 32768", chunk)
+	tu := computeTuning(4, "32768", "1048576")
+	if tu.chunkBytes != 32768 {
+		t.Fatalf("chunk override: got %d, want 32768", tu.chunkBytes)
 	}
-	if thresh != 1048576 {
-		t.Fatalf("threshold override: got %d, want 1048576", thresh)
+	if tu.parallelThreshold != 1048576 {
+		t.Fatalf("threshold override: got %d, want 1048576", tu.parallelThreshold)
+	}
+	// ECFAULT_PARALLEL also pins the strided threshold, clamped into its
+	// own (narrower) range.
+	if tu.stridedThreshold != maxStridedThreshold {
+		t.Fatalf("strided override: got %d, want clamp to %d", tu.stridedThreshold, maxStridedThreshold)
+	}
+	tu = computeTuning(4, "32768", "65536")
+	if tu.stridedThreshold != 65536 {
+		t.Fatalf("strided override in range: got %d, want 65536", tu.stridedThreshold)
 	}
 }
 
 func TestComputeTuningClampsEnv(t *testing.T) {
-	chunk, thresh := computeTuning(1, "64", "1")
-	if chunk != minChunkBytes {
-		t.Fatalf("tiny chunk not clamped: got %d, want %d", chunk, minChunkBytes)
+	tu := computeTuning(1, "64", "1")
+	if tu.chunkBytes != minChunkBytes {
+		t.Fatalf("tiny chunk not clamped: got %d, want %d", tu.chunkBytes, minChunkBytes)
 	}
-	if thresh != minParallelThreshold {
-		t.Fatalf("tiny threshold not clamped: got %d, want %d", thresh, minParallelThreshold)
+	if tu.parallelThreshold != minParallelThreshold {
+		t.Fatalf("tiny threshold not clamped: got %d, want %d", tu.parallelThreshold, minParallelThreshold)
 	}
-	chunk, thresh = computeTuning(1, "99999999", "999999999999")
-	if chunk != maxChunkBytes {
-		t.Fatalf("huge chunk not clamped: got %d, want %d", chunk, maxChunkBytes)
+	if tu.stridedThreshold != minStridedThreshold {
+		t.Fatalf("tiny strided threshold not clamped: got %d, want %d", tu.stridedThreshold, minStridedThreshold)
 	}
-	if thresh != maxParallelThreshold {
-		t.Fatalf("huge threshold not clamped: got %d, want %d", thresh, maxParallelThreshold)
+	tu = computeTuning(1, "99999999", "999999999999")
+	if tu.chunkBytes != maxChunkBytes {
+		t.Fatalf("huge chunk not clamped: got %d, want %d", tu.chunkBytes, maxChunkBytes)
+	}
+	if tu.parallelThreshold != maxParallelThreshold {
+		t.Fatalf("huge threshold not clamped: got %d, want %d", tu.parallelThreshold, maxParallelThreshold)
+	}
+	if tu.stridedThreshold != maxStridedThreshold {
+		t.Fatalf("huge strided threshold not clamped: got %d, want %d", tu.stridedThreshold, maxStridedThreshold)
 	}
 }
 
 func TestComputeTuningInvalidEnvFallsBackToProbe(t *testing.T) {
-	chunk, thresh := computeTuning(2, "not-a-number", "")
-	if chunk < minChunkBytes || chunk > maxChunkBytes {
-		t.Fatalf("probed chunk %d outside [%d, %d]", chunk, minChunkBytes, maxChunkBytes)
+	tu := computeTuning(2, "not-a-number", "")
+	if tu.chunkBytes < minChunkBytes || tu.chunkBytes > maxChunkBytes {
+		t.Fatalf("probed chunk %d outside [%d, %d]", tu.chunkBytes, minChunkBytes, maxChunkBytes)
 	}
-	if thresh < minParallelThreshold || thresh > maxParallelThreshold {
-		t.Fatalf("probed threshold %d outside [%d, %d]", thresh, minParallelThreshold, maxParallelThreshold)
+	if tu.parallelThreshold < minParallelThreshold || tu.parallelThreshold > maxParallelThreshold {
+		t.Fatalf("probed threshold %d outside [%d, %d]", tu.parallelThreshold, minParallelThreshold, maxParallelThreshold)
+	}
+	if tu.stridedThreshold < minStridedThreshold || tu.stridedThreshold > maxStridedThreshold {
+		t.Fatalf("probed strided threshold %d outside [%d, %d]", tu.stridedThreshold, minStridedThreshold, maxStridedThreshold)
 	}
 }
 
 func TestTuningStable(t *testing.T) {
-	c1, t1 := Tuning()
-	c2, t2 := Tuning()
-	if c1 != c2 || t1 != t2 {
-		t.Fatalf("tuning not stable across calls: (%d,%d) then (%d,%d)", c1, t1, c2, t2)
+	c1, t1, s1 := Tuning()
+	c2, t2, s2 := Tuning()
+	if c1 != c2 || t1 != t2 || s1 != s2 {
+		t.Fatalf("tuning not stable across calls: (%d,%d,%d) then (%d,%d,%d)", c1, t1, s1, c2, t2, s2)
 	}
-	if c1 < minChunkBytes || t1 < minParallelThreshold {
-		t.Fatalf("tuning out of range: chunk=%d threshold=%d", c1, t1)
+	if c1 < minChunkBytes || t1 < minParallelThreshold || s1 < minStridedThreshold {
+		t.Fatalf("tuning out of range: chunk=%d threshold=%d strided=%d", c1, t1, s1)
+	}
+}
+
+func TestStridedWorkersGating(t *testing.T) {
+	_, _, strided := Tuning()
+	if got := StridedWorkers(strided - 1); got != 1 {
+		t.Fatalf("below-threshold batch got %d workers, want 1", got)
+	}
+	// Above threshold the count is the kernel budget capped by total work;
+	// with total exactly one threshold the per-worker-minimum cap allows at
+	// most 2 workers.
+	if got := StridedWorkers(strided); got < 1 || got > 2 {
+		t.Fatalf("at-threshold batch got %d workers, want 1 or 2", got)
 	}
 }

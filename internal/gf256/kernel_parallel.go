@@ -1,0 +1,87 @@
+package gf256
+
+import "repro/internal/parallel"
+
+// Parallel strided/segment execution.
+//
+// The strided entries below fan one batched row application out across
+// the persistent worker pool. Both splits are pure geometry: a worker's
+// sub-range is addressed by advancing every operand's base pointer, so
+// each worker issues an ordinary serial ApplyStrided/ApplySegs over a
+// disjoint slice of the destination. Every output byte depends only on
+// the same offsets of the sources, so any split is byte-identical to the
+// serial pass — the conformance and identity suites enforce that across
+// backends and worker counts.
+//
+// These entries are mechanism only: they take an explicit worker count
+// and always fan out when it exceeds 1. Policy — whether a call is big
+// enough to be worth a pool handoff — lives one layer up in
+// kernel.StridedWorkers, which prices the calibrated strided threshold
+// against the kernel worker budget (ECFAULT_KERNEL_WORKERS).
+
+// stridedParMinBytes is the smallest byte-split piece ApplyStridedParallel
+// hands a worker when it divides segment bytes rather than segments:
+// pieces below a few KiB spend more time in handoff than in the kernel.
+const stridedParMinBytes = 4096
+
+// ApplyStridedParallel is ApplyStrided fanned out over the worker pool.
+// The segment range [0, count) splits into contiguous per-worker
+// sub-ranges (base pointers advance by lo*stride); when there are fewer
+// segments than workers and the segments are large, the segment bytes
+// split as well (64-byte-aligned pieces, so the SIMD kernels keep full
+// strips). workers <= 1, or a geometry too small to split, runs the
+// serial entry on the calling goroutine.
+func (rp *RowPlan) ApplyStridedParallel(srcs [][]byte, dst []byte, dstBase, dstStride int, srcBase, srcStride []int, segn, count int, overwrite bool, workers int) {
+	if segn <= 0 || count <= 0 {
+		return
+	}
+	// Split segments first: wC workers take ceil(count/wC) segments each.
+	wC := min(workers, count)
+	perC := (count + wC - 1) / wC
+	wC = (count + perC - 1) / perC
+
+	// Leftover budget splits segment bytes, pieces 64-byte aligned and at
+	// least stridedParMinBytes.
+	wB := 1
+	perB := segn
+	if w := workers / wC; w > 1 && segn >= 2*stridedParMinBytes {
+		wB = min(w, segn/stridedParMinBytes)
+		perB = (segn/wB + 63) &^ 63
+		wB = (segn + perB - 1) / perB
+	}
+	if wC*wB <= 1 {
+		rp.ApplyStrided(srcs, dst, dstBase, dstStride, srcBase, srcStride, segn, count, overwrite)
+		return
+	}
+	parallel.ForEach(wC*wB, wC*wB, func(t int) {
+		a, b := t/wB, t%wB
+		c0 := a * perC
+		cn := min(perC, count-c0)
+		o0 := b * perB
+		on := min(perB, segn-o0)
+		sb := make([]int, len(srcs))
+		for _, j := range rp.nzSrc {
+			sb[j] = srcBase[j] + c0*srcStride[j] + o0
+		}
+		rp.ApplyStrided(srcs, dst, dstBase+c0*dstStride+o0, dstStride, sb, srcStride, on, cn, overwrite)
+	})
+}
+
+// ApplySegsParallel is ApplySegs with the index list split into
+// contiguous per-worker sub-lists. Splitting can land mid-run, changing
+// which kernel route (strided, gather, window) each piece takes — all
+// routes are byte-identical, so the output never depends on the split.
+func (rp *RowPlan) ApplySegsParallel(srcs [][]byte, dst []byte, idx []int32, delta []int32, segLen int, overwrite bool, workers int) {
+	workers = min(workers, len(idx))
+	if workers <= 1 {
+		rp.ApplySegs(srcs, dst, idx, delta, segLen, overwrite)
+		return
+	}
+	per := (len(idx) + workers - 1) / workers
+	workers = (len(idx) + per - 1) / per
+	parallel.ForEach(workers, workers, func(w int) {
+		lo := w * per
+		hi := min(lo+per, len(idx))
+		rp.ApplySegs(srcs, dst, idx[lo:hi], delta, segLen, overwrite)
+	})
+}

@@ -1,0 +1,128 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// parWorkerCounts are the worker budgets the identity tests force. The CI
+// machine may have one CPU, so the counts are explicit rather than
+// derived — the pool oversizes past NumCPU precisely so these runs still
+// exercise real cross-goroutine handoff (and the race detector).
+func parWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.NumCPU()}
+}
+
+// parStridedCases extends the serial geometry table with shapes that
+// trigger each parallel split: many segments (segment-range split), one
+// huge segment (64-byte-aligned byte split), and a mid shape where both
+// splits compose. Sizes are deliberately unaligned.
+func parStridedCases() []stridedCase {
+	id := func(v int) func(int) int { return func(int) int { return v } }
+	cases := stridedCases()
+	return append(cases,
+		stridedCase{segn: 257, count: 33, dstStride: 300, srcStrideOf: id(260), dstBase: 1, srcBaseOf: id(3)},
+		stridedCase{segn: 13001, count: 1, dstStride: 13001, srcStrideOf: id(0), dstBase: 0, srcBaseOf: id(5)},
+		stridedCase{segn: 9001, count: 3, dstStride: 9050, srcStrideOf: func(j int) int { return 9001 + 17*j }, dstBase: 2, srcBaseOf: func(j int) int { return j }},
+	)
+}
+
+// TestApplyStridedParallelIdentity requires ApplyStridedParallel to be
+// byte-identical to the serial ApplyStrided on every available backend,
+// across worker counts and unaligned geometries. Run with -race this also
+// checks the split never writes overlapping destination bytes.
+func TestApplyStridedParallelIdentity(t *testing.T) {
+	rows := [][]byte{
+		{2},
+		{1, 2},
+		{0x8e, 0, 0x1d},
+		{7, 0, 113, 214, 0xaa},
+	}
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			forceBackend(t, backend)
+			rng := rand.New(rand.NewSource(99))
+			for _, coeffs := range rows {
+				rp := CompileRow(coeffs)
+				for _, tc := range parStridedCases() {
+					srcs := make([][]byte, len(coeffs))
+					srcBase := make([]int, len(coeffs))
+					srcStride := make([]int, len(coeffs))
+					for j := range srcs {
+						srcBase[j] = tc.srcBaseOf(j)
+						srcStride[j] = tc.srcStrideOf(j)
+						srcs[j] = make([]byte, srcBase[j]+(tc.count-1)*srcStride[j]+tc.segn)
+						rng.Read(srcs[j])
+					}
+					dn := tc.dstBase + (tc.count-1)*tc.dstStride + tc.segn
+					base := make([]byte, dn)
+					rng.Read(base)
+					for _, overwrite := range []bool{false, true} {
+						want := append([]byte(nil), base...)
+						rp.ApplyStrided(srcs, want, tc.dstBase, tc.dstStride, srcBase, srcStride, tc.segn, tc.count, overwrite)
+						for _, workers := range parWorkerCounts() {
+							got := append([]byte(nil), base...)
+							rp.ApplyStridedParallel(srcs, got, tc.dstBase, tc.dstStride, srcBase, srcStride, tc.segn, tc.count, overwrite, workers)
+							if !bytes.Equal(got, want) {
+								t.Fatalf("parallel diverges from serial: coeffs=%v segn=%d count=%d workers=%d overwrite=%v",
+									coeffs, tc.segn, tc.count, workers, overwrite)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplySegsParallelIdentity requires ApplySegsParallel to match the
+// serial ApplySegs across index patterns (including per-source deltas,
+// run-coalescing boundaries, and singletons), worker counts, and
+// backends.
+func TestApplySegsParallelIdentity(t *testing.T) {
+	coeffs := []byte{0x8e, 0x1d}
+	idxCases := []struct {
+		name  string
+		idx   []int32
+		delta []int32
+	}{
+		{"contiguous", []int32{0, 1, 2, 3, 4, 5, 6, 7}, nil},
+		{"runs", []int32{0, 1, 2, 9, 10, 11, 18, 19, 20}, nil},
+		{"singletons", []int32{1, 4, 7, 10, 13, 16, 19, 22}, nil},
+		{"ragged", []int32{0, 2, 3, 4, 11, 17, 18, 23, 24}, nil},
+		{"delta", []int32{0, 1, 2, 9, 10, 11}, []int32{0, 3}},
+	}
+	for _, backend := range Backends() {
+		t.Run(backend, func(t *testing.T) {
+			forceBackend(t, backend)
+			rng := rand.New(rand.NewSource(7))
+			rp := CompileRow(coeffs)
+			for _, segLen := range []int{37, 512, 4096} {
+				const space = 30
+				srcs := make([][]byte, len(coeffs))
+				for j := range srcs {
+					srcs[j] = make([]byte, space*segLen)
+					rng.Read(srcs[j])
+				}
+				base := make([]byte, space*segLen)
+				rng.Read(base)
+				for _, tc := range idxCases {
+					for _, overwrite := range []bool{false, true} {
+						want := append([]byte(nil), base...)
+						rp.ApplySegs(srcs, want, tc.idx, tc.delta, segLen, overwrite)
+						for _, workers := range parWorkerCounts() {
+							got := append([]byte(nil), base...)
+							rp.ApplySegsParallel(srcs, got, tc.idx, tc.delta, segLen, overwrite, workers)
+							if !bytes.Equal(got, want) {
+								t.Fatalf("case=%s segLen=%d workers=%d overwrite=%v: parallel diverges from serial",
+									tc.name, segLen, workers, overwrite)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -74,3 +74,84 @@ func TestForEachPanicPropagates(t *testing.T) {
 		}
 	})
 }
+
+func TestKernelWorkersPrecedence(t *testing.T) {
+	prevW := SetWorkers(3)
+	prevK := SetKernelWorkers(0)
+	defer func() { SetWorkers(prevW); SetKernelWorkers(prevK) }()
+	// No kernel override: falls back to Workers.
+	if got := KernelWorkers(); got != 3 {
+		t.Fatalf("KernelWorkers fallback = %d, want Workers()=3", got)
+	}
+	// Kernel override wins without disturbing Workers.
+	SetKernelWorkers(5)
+	if got := KernelWorkers(); got != 5 {
+		t.Fatalf("KernelWorkers with override = %d, want 5", got)
+	}
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers disturbed by kernel override: %d, want 3", got)
+	}
+	if got := SetKernelWorkers(0); got != 5 {
+		t.Fatalf("SetKernelWorkers returned previous %d, want 5", got)
+	}
+}
+
+// TestPoolReuse checks the pool is persistent: many fan-outs reuse the
+// same parked workers instead of spawning per call, and the pool never
+// exceeds its cap.
+func TestPoolReuse(t *testing.T) {
+	// Warm the pool.
+	ForEach(8, 4, func(int) {})
+	started := PoolWorkers()
+	if started < 1 {
+		t.Fatalf("no pool workers started after a parallel ForEach")
+	}
+	var n atomic.Int32
+	for rep := 0; rep < 200; rep++ {
+		ForEach(16, 4, func(int) { n.Add(1) })
+	}
+	if got := n.Load(); got != 200*16 {
+		t.Fatalf("ran %d of %d indices", got, 200*16)
+	}
+	if grown := PoolWorkers() - started; grown > int(poolCap) {
+		t.Fatalf("pool grew past cap: %d workers after reuse loop (cap %d)", PoolWorkers(), poolCap)
+	}
+	if PoolWorkers() > int(poolCap) {
+		t.Fatalf("pool size %d exceeds cap %d", PoolWorkers(), poolCap)
+	}
+}
+
+// TestPoolSurvivesPanic checks a panic in one batch neither kills pool
+// workers nor poisons later batches: full coverage still holds after the
+// panic propagated.
+func TestPoolSurvivesPanic(t *testing.T) {
+	func() {
+		defer func() { recover() }()
+		ForEach(64, 8, func(i int) {
+			if i%3 == 0 {
+				panic("kaboom")
+			}
+		})
+	}()
+	const n = 500
+	var counts [n]atomic.Int32
+	ForEach(n, 8, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("after panic: index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestForEachNested checks nested fan-out completes (the caller always
+// participates in its own batch, so completion never depends on pool
+// pickup even when every worker is busy).
+func TestForEachNested(t *testing.T) {
+	var n atomic.Int32
+	ForEach(8, 8, func(int) {
+		ForEach(8, 8, func(int) { n.Add(1) })
+	})
+	if got := n.Load(); got != 64 {
+		t.Fatalf("nested ForEach ran %d of 64", got)
+	}
+}

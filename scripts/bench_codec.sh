@@ -3,7 +3,7 @@
 # (BenchmarkClayBatchAB in internal/erasure/conformance).
 #
 # Usage:
-#   scripts/bench_codec.sh [-n benchtime] [-g]
+#   scripts/bench_codec.sh [-n benchtime] [-g] [-p]
 #
 # For each of the headline shapes (clay(9,3,11) encode and single repair
 # at 4 KiB and 64 KiB shards) the same benchmark runs with the batched
@@ -11,6 +11,14 @@
 # and the ratio is printed as "speedup <op>/<size>: N.NNx". Large sizes
 # sit near 1.0x by design: the per-plane path already amortizes kernel
 # calls there and the size gates route to it.
+#
+# -p additionally runs the parallel-strided A/B: the repair sub-chunk
+# sweep (BenchmarkKernelClayRepairSweep, 128 B – 8 KiB) once with the
+# default kernel worker budget and once pinned serial via
+# ECFAULT_KERNEL_WORKERS=1, printing per-size "parallel <scs>/<mode>:
+# N.NNx" ratios. This is the measurement behind the BENCH_CODEC.json
+# parallel_strided section; on a single-core host the ratio sits at
+# ~1.0x by construction (the worker budget collapses to 1).
 #
 # -g enforces the CI ratio guard: the 4 KiB encode speedup (the
 # configuration regime the batching exists for) must clear the 1.5x
@@ -23,10 +31,12 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME=200x
 GUARD=0
-while getopts "n:g" opt; do
+PARALLEL_AB=0
+while getopts "n:gp" opt; do
   case "$opt" in
     n) BENCHTIME="$OPTARG" ;;
     g) GUARD=1 ;;
+    p) PARALLEL_AB=1 ;;
     *) exit 2 ;;
   esac
 done
@@ -58,6 +68,23 @@ echo "$OUT" | awk '
     for (k in before)
       printf "speedup %s: %.2fx\n", k, before[k] / after[k]
   }' | sort
+
+if [ "$PARALLEL_AB" = 1 ]; then
+  echo "--- parallel strided A/B (default kernel workers vs ECFAULT_KERNEL_WORKERS=1) ---"
+  # "<scs>/<mode> <ns>" lines from the sweep, one pass per worker setting.
+  sweep() {
+    go test ./internal/erasure/conformance -run xxx \
+      -bench 'BenchmarkKernelClayRepairSweep' -benchtime "$BENCHTIME" -count=1 2>/dev/null |
+      awk '/^BenchmarkKernelClayRepairSweep\// {
+        split($1, parts, "/")
+        print parts[2] "/" parts[3], $3
+      }' | sed 's#-[0-9]* # #'
+  }
+  PAR=$(sweep)
+  SER=$(ECFAULT_KERNEL_WORKERS=1 sweep)
+  paste <(echo "$PAR") <(echo "$SER") | awk '
+    $1 == $3 { printf "parallel %-18s %12s ns/op  serial %12s ns/op  %.2fx\n", $1, $2, $4, $4 / $2 }'
+fi
 
 if [ "$GUARD" = 1 ]; then
   case "$BACKEND" in
