@@ -187,7 +187,7 @@ func (c *Cluster) ReadLatency(poolName, objectName string) (simclock.Time, error
 			c.net.Transfer(osd.Host, c.osds[primary].Host, rec.ChunkSize, join.Done)
 		})
 	}
-	c.sim.Run()
+	c.RunSim()
 	if finish == 0 {
 		return 0, fmt.Errorf("cluster: read of %s did not complete", objectName)
 	}

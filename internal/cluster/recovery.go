@@ -120,7 +120,7 @@ func (c *Cluster) RecoverPool(poolName string) (*RecoveryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.sim.Run()
+	c.RunSim()
 	if res.FinishedAt == 0 {
 		return nil, fmt.Errorf("cluster: recovery did not complete")
 	}

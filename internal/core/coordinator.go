@@ -289,7 +289,7 @@ func (co *Coordinator) finish(res *Result, contents map[string][]byte) (*Result,
 		}
 		cl.Sim().At(rec.DetectedAt, sample)
 
-		cl.Sim().Run()
+		cl.RunSim()
 		if !rec.Done() {
 			return nil, fmt.Errorf("core: recovery did not complete")
 		}

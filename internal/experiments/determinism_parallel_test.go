@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logsys"
+	"repro/internal/parallel"
+)
+
+// The time-partitioned parallel engine (simclock.RunParallel, gated by
+// ECFAULT_SIM_WORKERS) must be byte-identical to the serial engine: same
+// recovery results, same iostat counter stream, same merged timeline, for
+// every worker count, on fresh-built and snapshot-forked clusters alike.
+// This suite is the differential harness that backs the engine: it runs
+// every golden profile serially, then replays it under worker counts
+// {2, 4, NumCPU} at two scales, comparing every observable output.
+//
+// It mirrors TestEngineDeterminismForked in structure, but compares
+// against a freshly computed serial twin instead of the stored goldens,
+// so it also covers scales the goldens do not pin.
+
+// renderTimeline flattens a merged timeline to the raw on-node log
+// format; comparing the rendered bytes is what "byte-identical timeline"
+// means for the differential suite (entry order included).
+func renderTimeline(entries []logsys.Entry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(logsys.FormatLine(e.Time, e.Node, e.Category+" "+e.Message))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderIOSamples flattens the iostat sample stream, order included.
+func renderIOSamples(res *core.Result) string {
+	var b strings.Builder
+	for _, s := range res.IOSamples {
+		fmt.Fprintf(&b, "%d %s r%d w%d rb%d wb%d\n",
+			int64(s.Time), s.Device, s.ReadOps, s.WriteOps, s.ReadBytes, s.WriteBytes)
+	}
+	return b.String()
+}
+
+// compareRuns asserts every observable of two runs is identical.
+func compareRuns(t *testing.T, label string, serial, par *core.Result) {
+	t.Helper()
+	if serial.Recovery == nil || par.Recovery == nil {
+		t.Fatalf("%s: missing recovery result (serial=%v parallel=%v)",
+			label, serial.Recovery != nil, par.Recovery != nil)
+	}
+	if *serial.Recovery != *par.Recovery {
+		t.Errorf("%s: recovery result diverged\nserial %+v\nparallel %+v",
+			label, *serial.Recovery, *par.Recovery)
+	}
+	if serial.UsedBytes != par.UsedBytes || serial.WrittenBytes != par.WrittenBytes {
+		t.Errorf("%s: byte accounting diverged: serial used=%d written=%d, parallel used=%d written=%d",
+			label, serial.UsedBytes, serial.WrittenBytes, par.UsedBytes, par.WrittenBytes)
+	}
+	if serial.LogLinesShipped != par.LogLinesShipped || serial.LogLinesDropped != par.LogLinesDropped {
+		t.Errorf("%s: log accounting diverged: serial %d/%d, parallel %d/%d",
+			label, serial.LogLinesShipped, serial.LogLinesDropped, par.LogLinesShipped, par.LogLinesDropped)
+	}
+	if s, p := renderIOSamples(serial), renderIOSamples(par); s != p {
+		t.Errorf("%s: iostat sample stream diverged (%d vs %d samples)",
+			label, len(serial.IOSamples), len(par.IOSamples))
+	}
+	if s, p := renderTimeline(serial.Timeline), renderTimeline(par.Timeline); s != p {
+		i := 0
+		for i < len(s) && i < len(p) && s[i] == p[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Errorf("%s: timeline diverged at byte %d\nserial   ...%q\nparallel ...%q",
+			label, i, s[lo:min(i+80, len(s))], p[lo:min(i+80, len(p))])
+	}
+}
+
+func parallelWorkerCounts() []int {
+	counts := []int{2, 4}
+	if n := runtime.NumCPU(); n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestEngineDeterminismParallel(t *testing.T) {
+	prev := parallel.SetSimWorkers(1)
+	t.Cleanup(func() { parallel.SetSimWorkers(prev) })
+
+	scales := []int{50, 10}
+	if testing.Short() {
+		scales = scales[:1]
+	}
+	for _, scale := range scales {
+		for _, cfg := range goldenProfilesAt(scale) {
+			p := cfg.P
+
+			parallel.SetSimWorkers(1)
+			serial, err := core.Run(p)
+			if err != nil {
+				t.Fatalf("%s/scale=%d: serial run: %v", cfg.Name, scale, err)
+			}
+			snap, err := core.Populate(p)
+			if err != nil {
+				t.Fatalf("%s/scale=%d: populate: %v", cfg.Name, scale, err)
+			}
+			serialForked, err := snap.Run(p)
+			if err != nil {
+				t.Fatalf("%s/scale=%d: serial forked run: %v", cfg.Name, scale, err)
+			}
+			compareRuns(t, fmt.Sprintf("%s/scale=%d/serial-forked", cfg.Name, scale), serial, serialForked)
+
+			for _, workers := range parallelWorkerCounts() {
+				label := fmt.Sprintf("%s/scale=%d/workers=%d", cfg.Name, scale, workers)
+				parallel.SetSimWorkers(workers)
+
+				cold, err := core.Run(p)
+				if err != nil {
+					t.Fatalf("%s/cold: %v", label, err)
+				}
+				compareRuns(t, label+"/cold", serial, cold)
+
+				forked, err := snap.Run(p)
+				if err != nil {
+					t.Fatalf("%s/forked: %v", label, err)
+				}
+				compareRuns(t, label+"/forked", serial, forked)
+			}
+		}
+	}
+}

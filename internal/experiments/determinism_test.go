@@ -36,7 +36,16 @@ func goldenProfiles() []struct {
 	Name string
 	P    core.Profile
 } {
-	const scale = 50 // 200 objects: every code path, sub-second cells
+	return goldenProfilesAt(50) // 200 objects: every code path, sub-second cells
+}
+
+// goldenProfilesAt builds the golden shapes at an arbitrary workload
+// scale divisor; the differential parallel-engine suite uses it to cover
+// scales the stored goldens do not pin.
+func goldenProfilesAt(scale int) []struct {
+	Name string
+	P    core.Profile
+} {
 	rs, clay := Codes[0], Codes[1]
 	base := func(plugin string, d int) core.Profile {
 		return withCode(baseProfile(scale), plugin, d)

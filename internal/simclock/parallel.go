@@ -1,0 +1,223 @@
+// Conservative time-partitioned parallel execution for the discrete-event
+// engine.
+//
+// The simulation is partitioned into sharded event streams (logical
+// processes over the shared clock) and executed window by window. Each
+// window [t0, t0+w] is processed in two phases:
+//
+//  1. Drain (parallel): every shard pops its events with at <= windowEnd
+//     into a sorted batch. Shards are independent min-heaps, so the worker
+//     pool drains them concurrently; nothing executes in this phase.
+//  2. Commit (serial): the committing goroutine merges the shard batches
+//     plus the window's overflow heap in global (at, seq) order and fires
+//     the callbacks one at a time.
+//
+// Callbacks therefore execute in exactly the order Run would fire them —
+// (at, seq) is a total order and seq assignment is a pure function of the
+// scheduling order, which the serial commit reproduces — so recovery
+// results, iostat counters and timelines are byte-identical to the serial
+// engine for any worker count and any window size. That is the
+// "conservative" part of the scheme: no event is ever executed
+// speculatively or out of order; parallelism is confined to staging
+// (heap maintenance, window sorting) where it cannot observe or mutate
+// simulation state.
+//
+// Scheduling performed by committing callbacks is routed by target time:
+// events beyond the current window go to a shard (they will be drained in
+// parallel at a later window boundary), events inside the window fall
+// back to the Sim's own heap, which doubles as the window's overflow
+// lane and is merged by (at, seq) like everything else. The lookahead
+// only decides how much future work is staged for parallel drain — the
+// cluster derives it from the minimum simnet link latency, the classic
+// conservative-PDES bound under which cross-process messages cannot
+// arrive inside the current window.
+package simclock
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// parShard is one partitioned event stream: a staged min-heap plus the
+// drained, sorted batch of the current window. The struct is padded so
+// concurrently draining workers do not false-share slice headers.
+type parShard struct {
+	events []event // staged future events, (at, seq) min-heap
+	batch  []event // current window's drained events, sorted
+	cursor int     // next batch index to commit
+	_      [56]byte
+}
+
+// drain moves every staged event with at <= windowEnd into the shard's
+// batch, in (at, seq) order. It touches only this shard's state, so the
+// worker pool runs drains for distinct shards concurrently.
+func (sh *parShard) drain(windowEnd Time) {
+	h, b := sh.events, sh.batch
+	for len(h) > 0 && h[0].at <= windowEnd {
+		var e event
+		e, h = heapPop(h)
+		b = append(b, e)
+	}
+	sh.events, sh.batch = h, b
+}
+
+// parRun is the in-flight state of one RunParallel drive.
+type parRun struct {
+	shards    []parShard
+	mask      uint64 // len(shards)-1; shard count is a power of two
+	windowEnd Time   // current window's inclusive upper bound
+}
+
+// route stages an event on its shard. The shard index is a pure function
+// of the event's sequence number, so the union of staged events — and
+// therefore every window's drained set — is independent of the shard
+// count and of worker scheduling.
+func (p *parRun) route(e event) {
+	sh := &p.shards[e.seq&p.mask]
+	sh.events = append(sh.events, e)
+	heapUp(sh.events, len(sh.events)-1)
+}
+
+// earliest returns the minimum (at, seq) staged event time, or false when
+// every shard is empty.
+func (p *parRun) earliest() (Time, bool) {
+	var t0 Time
+	found := false
+	for i := range p.shards {
+		h := p.shards[i].events
+		if len(h) == 0 {
+			continue
+		}
+		if !found || h[0].at < t0 {
+			t0, found = h[0].at, true
+		}
+	}
+	return t0, found
+}
+
+// Window sizing. Any window bound is correct (the overflow lane preserves
+// commit order for events that land inside the window), so the window
+// adapts to the event density: it grows when a window commits too few
+// events to amortize the drain fan-out and shrinks when a window hoards
+// so many that newly scheduled events rarely reach the parallel stage.
+// The committed count is independent of the worker count, so the window
+// trajectory — and with it every drained set — is too.
+const (
+	windowGrowBelow   = 4     // x shards: grow when commits fall below
+	windowShrinkAbove = 64    // x shards: shrink when commits exceed
+	maxWindowScale    = 16384 // x lookahead: growth cap
+)
+
+// RunParallel processes events until none remain, like Run, using up to
+// workers goroutines from the process worker pool to stage and sort
+// future events while callbacks commit serially in (at, seq) order. The
+// results are byte-identical to Run for any workers and lookahead;
+// workers <= 1 or lookahead <= 0 simply runs the serial engine. It
+// returns the final simulated time.
+func (s *Sim) RunParallel(workers int, lookahead Time) Time {
+	if workers <= 1 || lookahead <= 0 || s.par != nil {
+		return s.Run()
+	}
+	nsh := 1
+	for nsh < workers && nsh < 32 {
+		nsh <<= 1
+	}
+	p := &parRun{shards: make([]parShard, nsh), mask: uint64(nsh - 1)}
+
+	// Stage everything scheduled so far; s.events becomes the (empty)
+	// overflow heap of the first window.
+	for _, e := range s.events {
+		p.route(e)
+	}
+	clear(s.events)
+	s.events = s.events[:0]
+	s.par = p
+
+	// Leave the simulator whole on every exit path: anything still staged
+	// (only possible when a callback panicked mid-window) is returned to
+	// the serial heap, exactly as Run would have left it.
+	defer func() {
+		s.par = nil
+		for i := range p.shards {
+			sh := &p.shards[i]
+			for _, e := range sh.events {
+				s.events = append(s.events, e)
+				heapUp(s.events, len(s.events)-1)
+			}
+			for _, e := range sh.batch[sh.cursor:] {
+				s.events = append(s.events, e)
+				heapUp(s.events, len(s.events)-1)
+			}
+		}
+	}()
+
+	maxWindow := lookahead * maxWindowScale
+	if maxWindow/maxWindowScale != lookahead { // overflow
+		maxWindow = math.MaxInt64
+	}
+	window := lookahead
+	sh := p.shards
+	for {
+		t0, ok := p.earliest()
+		if !ok {
+			break
+		}
+		windowEnd := t0 + window
+		if windowEnd < t0 { // overflow
+			windowEnd = math.MaxInt64
+		}
+		p.windowEnd = windowEnd
+
+		// Phase 1: parallel drain. The barrier in ForEach orders every
+		// drain before the commit phase reads any batch.
+		parallel.ForEach(nsh, workers, func(i int) { sh[i].drain(windowEnd) })
+
+		// Phase 2: serial commit. Merge the shard batches and the
+		// overflow heap by (at, seq); executing a callback may push onto
+		// either side (overflow for in-window times, shard heaps beyond),
+		// so the minimum is re-evaluated every step.
+		committed := 0
+		for {
+			src := -1
+			var best *event
+			for i := range sh {
+				if sh[i].cursor < len(sh[i].batch) {
+					cand := &sh[i].batch[sh[i].cursor]
+					if best == nil || cand.before(best) {
+						best, src = cand, i
+					}
+				}
+			}
+			var e event
+			if len(s.events) > 0 && (best == nil || s.events[0].before(best)) {
+				e = s.pop()
+			} else if src >= 0 {
+				e = *best
+				sh[src].batch[sh[src].cursor] = event{} // no pooled-arg leak
+				sh[src].cursor++
+			} else {
+				break
+			}
+			s.now = e.at
+			e.fn(e.arg)
+			committed++
+		}
+		for i := range sh {
+			sh[i].batch = sh[i].batch[:0]
+			sh[i].cursor = 0
+		}
+
+		if committed < windowGrowBelow*nsh {
+			if window < maxWindow {
+				window <<= 1
+				if window > maxWindow || window < 0 { // cap, incl. shift overflow
+					window = maxWindow
+				}
+			}
+		} else if committed > windowShrinkAbove*nsh && window > lookahead {
+			window >>= 1
+		}
+	}
+	return s.now
+}

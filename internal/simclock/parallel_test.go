@@ -1,0 +1,304 @@
+package simclock
+
+import (
+	"slices"
+	"testing"
+	"time"
+)
+
+// Differential harness for RunParallel: random event programs whose
+// structure is a pure function of per-event identities (not of engine
+// internals), executed once on the serial engine and once per
+// (workers, lookahead) combination on the parallel engine. The execution
+// traces — every (time, id) pair in firing order — must match exactly:
+// the conservative commit scheme promises byte-identical behaviour for
+// any worker count and any window size, so any divergence here is an
+// engine bug, never tolerance.
+
+// mix is splitmix64: the per-event identity hash that derives each
+// event's fan-out and delays, so a program's shape depends only on the
+// seed and the event's position in the spawn tree.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type traceEntry struct {
+	at Time
+	id uint64
+}
+
+// tracer is one program execution: the trace in firing order plus the
+// spawn budget bounding the run. Budget consumption order equals
+// execution order; if the engines diverge, the traces already differ, so
+// the shared counter never masks a failure.
+type tracer struct {
+	s      *Sim
+	q      *Queue
+	sem    *Semaphore
+	trace  []traceEntry
+	budget int
+}
+
+type node struct {
+	tr *tracer
+	id uint64
+}
+
+func runNode(a any) {
+	n := a.(*node)
+	tr := n.tr
+	tr.trace = append(tr.trace, traceEntry{tr.s.Now(), n.id})
+	h := mix(n.id)
+	kids := int(h & 3) // 0..3 children
+	for i := 0; i < kids && tr.budget > 0; i++ {
+		tr.budget--
+		h = mix(h + uint64(i) + 1)
+		// Delay in [0, 200µs): zero-delay children land inside the current
+		// window (overflow lane), long ones on the sharded streams.
+		d := Time(h % uint64(200*time.Microsecond))
+		tr.s.AfterArg(d, runNode, &node{tr: tr, id: h})
+	}
+	switch {
+	case h&0xf == 0 && tr.budget > 0:
+		// Ride the pooled-job Queue path: service time from the hash,
+		// completion records a tagged entry.
+		tr.budget--
+		tr.q.SubmitArg(Time(h%uint64(50*time.Microsecond)), queueDone, &node{tr: tr, id: h ^ 0xabcdef})
+	case h&0xf == 1 && tr.budget > 0:
+		tr.budget--
+		id := h ^ 0x123456
+		tr.sem.Acquire(func() {
+			tr.trace = append(tr.trace, traceEntry{tr.s.Now(), id})
+			tr.s.AfterArg(Time(h%uint64(30*time.Microsecond)), semDone, tr)
+		})
+	}
+}
+
+func queueDone(a any) {
+	n := a.(*node)
+	n.tr.trace = append(n.tr.trace, traceEntry{n.tr.s.Now(), n.id})
+}
+
+func semDone(a any) {
+	a.(*tracer).sem.Release()
+}
+
+// runProgram executes the seeded program; workers <= 1 runs the serial
+// engine, otherwise RunParallel with the given lookahead.
+func runProgram(seed uint64, workers int, lookahead Time) ([]traceEntry, Time) {
+	s := New()
+	tr := &tracer{s: s, q: s.NewQueue(2), sem: s.NewSemaphore(2), budget: 1500}
+	r := seed
+	for i := 0; i < 16; i++ {
+		r = mix(r + uint64(i))
+		at := Time(r % uint64(2*time.Millisecond))
+		s.AtArg(at, runNode, &node{tr: tr, id: mix(r)})
+	}
+	var end Time
+	if workers <= 1 {
+		end = s.Run()
+	} else {
+		end = s.RunParallel(workers, lookahead)
+	}
+	return tr.trace, end
+}
+
+// TestWindowMergeProperty is the window-merge property test: for random
+// programs, ANY partitioning of the event stream into windows and shards
+// commits in the serial global (at, seq) order. Lookaheads are chosen to
+// force degenerate windows (1ns: thousands of tiny windows), typical ones
+// and near-single-window runs (10ms covers the whole program).
+func TestWindowMergeProperty(t *testing.T) {
+	lookaheads := []Time{1, 137, 50 * time.Microsecond, 10 * time.Millisecond}
+	workerCounts := []int{2, 3, 8}
+	for seed := uint64(1); seed <= 8; seed++ {
+		want, wantEnd := runProgram(seed, 1, 0)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: empty serial trace", seed)
+		}
+		for _, w := range workerCounts {
+			for _, la := range lookaheads {
+				got, gotEnd := runProgram(seed, w, la)
+				if gotEnd != wantEnd {
+					t.Errorf("seed %d workers %d lookahead %v: end %v, serial %v",
+						seed, w, la, gotEnd, wantEnd)
+				}
+				if !slices.Equal(got, want) {
+					i := 0
+					for i < len(got) && i < len(want) && got[i] == want[i] {
+						i++
+					}
+					t.Fatalf("seed %d workers %d lookahead %v: trace diverged at event %d/%d (serial %+v, parallel %+v)",
+						seed, w, la, i, len(want), at(want, i), at(got, i))
+				}
+			}
+		}
+	}
+}
+
+func at(tr []traceEntry, i int) any {
+	if i < len(tr) {
+		return tr[i]
+	}
+	return "<end>"
+}
+
+// TestRunParallelLeavesSimWhole checks the panic path: a callback panic
+// mid-window must restore every staged event to the serial heap so the
+// simulator can continue on Run.
+func TestRunParallelLeavesSimWhole(t *testing.T) {
+	s := New()
+	var fired []int
+	for i := 0; i < 64; i++ {
+		i := i
+		s.At(Time(i)*time.Millisecond, func() {
+			if i == 5 {
+				panic("boom")
+			}
+			fired = append(fired, i)
+		})
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		s.RunParallel(4, time.Microsecond)
+	}()
+	if s.par != nil {
+		t.Fatal("par state not cleared after panic")
+	}
+	if got := s.Pending(); got != 58 {
+		t.Fatalf("pending after panic = %d, want 58", got)
+	}
+	s.Run()
+	if len(fired) != 63 {
+		t.Fatalf("fired %d events, want 63", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatalf("resumed run fired out of order: %v", fired)
+		}
+	}
+}
+
+// FuzzSimclockFIFO pins the same-timestamp tie-break: events scheduled
+// for one instant fire in scheduling order, on the serial engine and on
+// the parallel engine at every window size. Each input byte schedules one
+// root on a tiny timestamp grid (collisions abound); high-bit bytes also
+// spawn a zero-delay child at fire time, which must fire after every
+// same-instant event already staged.
+func FuzzSimclockFIFO(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 7, 3, 3, 0x83, 0x81, 0xff, 5})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 512 {
+			t.Skip()
+		}
+		run := func(workers int, lookahead Time) []traceEntry {
+			s := New()
+			var trace []traceEntry
+			var nextID uint64
+			var child func(any)
+			child = func(a any) {
+				id := a.(uint64)
+				trace = append(trace, traceEntry{s.Now(), id})
+			}
+			for _, b := range data {
+				b := b
+				id := nextID
+				nextID++
+				s.AtArg(Time(b&0x7)*100*time.Nanosecond, func(any) {
+					trace = append(trace, traceEntry{s.Now(), id})
+					if b&0x80 != 0 {
+						cid := nextID
+						nextID++
+						s.AtArg(s.Now(), child, cid)
+					}
+				}, nil)
+			}
+			if workers <= 1 {
+				s.Run()
+			} else {
+				s.RunParallel(workers, lookahead)
+			}
+			return trace
+		}
+
+		serial := run(1, 0)
+		// FIFO within an instant: ids scheduled before the run ascend per
+		// timestamp (children get larger ids than every pre-run root, and
+		// also ascend in spawn order).
+		byAt := map[Time]uint64{}
+		for _, e := range serial {
+			if last, ok := byAt[e.at]; ok && e.id <= last {
+				t.Fatalf("same-instant FIFO violated at %v: id %d after %d (trace %v)",
+					e.at, e.id, last, serial)
+			}
+			byAt[e.at] = e.id
+		}
+		for _, workers := range []int{2, 4} {
+			for _, la := range []Time{1, 100 * time.Nanosecond, time.Millisecond} {
+				if got := run(workers, la); !slices.Equal(got, serial) {
+					t.Fatalf("workers=%d lookahead=%v diverged from serial\nserial   %v\nparallel %v",
+						workers, la, serial, got)
+				}
+			}
+		}
+	})
+}
+
+// FuzzEngineWindowMerge feeds arbitrary byte programs through both
+// engines: each byte schedules a root on a coarse timestamp grid with
+// optional Queue traffic and delayed children, and the parallel trace
+// must equal the serial trace for every (workers, lookahead) probed.
+func FuzzEngineWindowMerge(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0xc3, 0x24, 0x65, 0xa6, 0xe7})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 1024 {
+			t.Skip()
+		}
+		run := func(workers int, lookahead Time) []traceEntry {
+			s := New()
+			q := s.NewQueue(1)
+			var trace []traceEntry
+			record := func(a any) {
+				trace = append(trace, traceEntry{s.Now(), a.(uint64)})
+			}
+			for i, b := range data {
+				b := b
+				id := uint64(i)
+				s.AtArg(Time(b&0x3f)*100*time.Nanosecond, func(any) {
+					trace = append(trace, traceEntry{s.Now(), id})
+					if b&0x40 != 0 {
+						q.SubmitArg(Time(b)*10*time.Nanosecond, record, id|1<<32)
+					}
+					if b&0x80 != 0 {
+						s.AfterArg(Time(b&0xf)*50*time.Nanosecond, record, id|1<<33)
+					}
+				}, nil)
+			}
+			if workers <= 1 {
+				s.Run()
+			} else {
+				s.RunParallel(workers, lookahead)
+			}
+			return trace
+		}
+		serial := run(1, 0)
+		for _, workers := range []int{2, 8} {
+			for _, la := range []Time{1, 250 * time.Nanosecond, time.Millisecond} {
+				if got := run(workers, la); !slices.Equal(got, serial) {
+					t.Fatalf("workers=%d lookahead=%v diverged from serial (%d vs %d events)",
+						workers, la, len(got), len(serial))
+				}
+			}
+		}
+	})
+}

@@ -27,13 +27,20 @@ import (
 type Time = time.Duration
 
 // Sim is a discrete-event simulator. It is not safe for concurrent use;
-// everything runs on the caller's goroutine inside Run.
+// everything runs on the caller's goroutine inside Run. RunParallel keeps
+// the same contract: callbacks always execute on the committing goroutine,
+// one at a time, in the exact order Run would fire them.
 type Sim struct {
 	now    Time
 	events []event // implicit 4-ary min-heap on (at, seq)
 	seq    uint64
 
 	freeJobs *job // freelist of in-service Queue job nodes
+
+	// par is non-nil while RunParallel is draining the simulation; it
+	// redirects schedule calls for beyond-window times to the sharded
+	// event streams (see parallel.go).
+	par *parRun
 }
 
 // event is one scheduled callback. fn and arg are stored separately so
@@ -88,14 +95,23 @@ func (s *Sim) schedule(t Time, fn func(any), arg any) {
 		panic(fmt.Sprintf("simclock: scheduling into the past (%v < %v)", t, s.now))
 	}
 	s.seq++
-	s.events = append(s.events, event{at: t, seq: s.seq, fn: fn, arg: arg})
-	s.siftUp(len(s.events) - 1)
+	e := event{at: t, seq: s.seq, fn: fn, arg: arg}
+	if p := s.par; p != nil && t > p.windowEnd {
+		// Parallel mode: events beyond the committing window are staged
+		// on a sharded stream, to be drained and pre-sorted by the
+		// worker pool at a later window boundary. Events inside the
+		// window fall through to s.events, which doubles as the
+		// window's overflow heap (see parallel.go).
+		p.route(e)
+		return
+	}
+	s.events = append(s.events, e)
+	heapUp(s.events, len(s.events)-1)
 }
 
-// siftUp restores the heap property from leaf i toward the root. The
+// heapUp restores the heap property from leaf i toward the root. The
 // moving event is held in a register and written once at its final slot.
-func (s *Sim) siftUp(i int) {
-	h := s.events
+func heapUp(h []event, i int) {
 	e := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -108,11 +124,10 @@ func (s *Sim) siftUp(i int) {
 	h[i] = e
 }
 
-// siftDown restores the heap property from slot i toward the leaves. With
+// heapDown restores the heap property from slot i toward the leaves. With
 // four children per node the tree is half as deep as a binary heap, which
 // pays off on the pop-heavy event loop.
-func (s *Sim) siftDown(i int) {
-	h := s.events
+func heapDown(h []event, i int) {
 	n := len(h)
 	e := h[i]
 	for {
@@ -139,18 +154,25 @@ func (s *Sim) siftDown(i int) {
 	h[i] = e
 }
 
-// pop removes and returns the earliest event. The vacated tail slot is
-// zeroed so pooled arguments do not leak through the heap's spare capacity.
-func (s *Sim) pop() event {
-	h := s.events
+// heapPop removes and returns the earliest event of heap h. The vacated
+// tail slot is zeroed so pooled arguments do not leak through the heap's
+// spare capacity.
+func heapPop(h []event) (event, []event) {
 	e := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = event{}
-	s.events = h[:n]
+	h = h[:n]
 	if n > 0 {
-		s.siftDown(0)
+		heapDown(h, 0)
 	}
+	return e, h
+}
+
+// pop removes and returns the earliest event.
+func (s *Sim) pop() event {
+	e, h := heapPop(s.events)
+	s.events = h
 	return e
 }
 
@@ -176,8 +198,17 @@ func (s *Sim) RunUntil(t Time) {
 	}
 }
 
-// Pending reports the number of queued events.
-func (s *Sim) Pending() int { return len(s.events) }
+// Pending reports the number of queued events, including events staged on
+// RunParallel's sharded streams.
+func (s *Sim) Pending() int {
+	n := len(s.events)
+	if p := s.par; p != nil {
+		for i := range p.shards {
+			n += len(p.shards[i].events) + len(p.shards[i].batch) - p.shards[i].cursor
+		}
+	}
+	return n
+}
 
 // job is a pooled in-service Queue entry: it is the heap-event argument
 // for the job's completion, so running a job allocates nothing after the

@@ -23,6 +23,13 @@ go test -race -count=1 \
     ./internal/parallel \
     ./internal/tuner
 
+echo "== go test -race (parallel sim engine, ECFAULT_SIM_WORKERS=4) =="
+ECFAULT_SIM_WORKERS=4 go test -race -count=1 \
+    ./internal/simclock \
+    ./internal/simnet \
+    ./internal/core \
+    ./internal/experiments
+
 echo "== go build/test (purego: portable word kernels, no asm) =="
 go build -tags purego ./...
 go test -tags purego -count=1 ./internal/gf256 ./internal/erasure/...
